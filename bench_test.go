@@ -1,0 +1,264 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per experiment; see DESIGN.md §5 for the index), plus
+// micro-benchmarks of the simulator's hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks run the Quick scale and report the headline
+// metric of their table/figure via b.ReportMetric (suffix tells the
+// unit); cmd/rwpexp -scale full regenerates the full-fidelity tables.
+package rwp_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"rwp"
+	"rwp/internal/cache"
+	"rwp/internal/exps"
+	"rwp/internal/mem"
+	"rwp/internal/policy"
+	"rwp/internal/trace"
+	"rwp/internal/workload"
+)
+
+// ---- One benchmark per paper table/figure ----
+
+func BenchmarkE1LineClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanWriteOnly*100, "writeonly_%")
+	}
+}
+
+func BenchmarkE2Criticality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := res.Points[len(res.Points)-1]
+		b.ReportMetric(p.LoadLoss*100, "loadloss_%")
+		b.ReportMetric(p.StoreLoss*100, "storeloss_%")
+	}
+}
+
+func BenchmarkE3SingleCoreSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.GeoAll-1)*100, "all_speedup_%")
+		b.ReportMetric((res.GeoSensitive-1)*100, "sens_speedup_%")
+	}
+}
+
+func BenchmarkE4PolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.Geo["rwp"]-1)*100, "rwp_speedup_%")
+		b.ReportMetric((res.RWPvsRRP-1)*100, "rwp_vs_rrp_%")
+	}
+}
+
+func BenchmarkE5Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RWPOverRRP*100, "rwp_state_vs_rrp_%")
+	}
+}
+
+func BenchmarkE6SizeSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric((p.Geo-1)*100, "speedup_"+report(p.LLCBytes)+"_%")
+		}
+	}
+}
+
+func report(size int) string {
+	switch size {
+	case 1 << 20:
+		return "1MiB"
+	case 2 << 20:
+		return "2MiB"
+	case 4 << 20:
+		return "4MiB"
+	case 8 << 20:
+		return "8MiB"
+	default:
+		return "x"
+	}
+}
+
+func BenchmarkE7Multicore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.MeanThroughputVsLRU["rwp"]-1)*100, "rwp_throughput_%")
+		b.ReportMetric((res.MeanThroughputVsLRU["ucp"]-1)*100, "ucp_throughput_%")
+	}
+}
+
+func BenchmarkE8PartitionDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Phase1Mean, "phase1_dirtyways")
+		b.ReportMetric(res.Phase2Mean, "phase2_dirtyways")
+	}
+}
+
+func BenchmarkE9WritebackTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanRatio, "wb_ratio")
+	}
+}
+
+func BenchmarkE10Associativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exps.NewSuite(exps.Quick)
+		_, res, err := s.E10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Ways == 16 {
+				b.ReportMetric((p.Geo-1)*100, "speedup_16w_%")
+			}
+		}
+	}
+}
+
+// ---- Micro-benchmarks of the simulator's hot paths ----
+
+func benchCache(b *testing.B, policyName string) {
+	p, err := policy.New(policyName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cache.New(cache.Config{Name: "llc", SizeBytes: 1 << 20, Ways: 16, LineSize: 64}, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := mem.LineAddr(i * 31 % 40000)
+		c.Access(line, mem.Addr(i%64)*4, cache.Class(i%3), 0)
+	}
+}
+
+func BenchmarkCacheAccessLRU(b *testing.B)   { benchCache(b, "lru") }
+func BenchmarkCacheAccessRWP(b *testing.B)   { benchCache(b, "rwp") }
+func BenchmarkCacheAccessRRP(b *testing.B)   { benchCache(b, "rrp") }
+func BenchmarkCacheAccessDRRIP(b *testing.B) { benchCache(b, "drrip") }
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	prof, err := workload.Get("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := prof.NewSource()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	prof, _ := workload.Get("gcc")
+	recs, err := trace.Collect(trace.NewLimit(prof.NewSource(), 100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw := trace.NewWriter(io.Discard)
+		for _, a := range recs {
+			if err := tw.Write(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(recs)))
+	}
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	prof, _ := workload.Get("gcc")
+	var buf bytes.Buffer
+	if _, err := trace.WriteAll(&buf, trace.NewLimit(prof.NewSource(), 100_000)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.NewReader(bytes.NewReader(raw))
+		n := 0
+		for {
+			_, err := tr.Next()
+			if err == trace.ErrEnd {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != 100_000 {
+			b.Fatalf("decoded %d records", n)
+		}
+	}
+}
+
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	// Whole-stack throughput: workload → core model → 3-level hierarchy.
+	cfg := rwp.Config{Policy: "rwp", Warmup: 10_000, Measure: 90_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rwp.Run("gcc", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

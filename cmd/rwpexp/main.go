@@ -1,0 +1,83 @@
+// Command rwpexp regenerates the paper's tables and figures (E1..E11)
+// and the design-choice ablations (A1..A4). Run with -exp to select one
+// experiment or without flags for the full suite; -scale quick|full
+// trades fidelity for time; -csv writes each table as CSV into a
+// directory alongside the rendered text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rwp/internal/exps"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (E1..E11, A1..A4); empty = all")
+	scale := flag.String("scale", "full", "quick|full")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSVs into")
+	benches := flag.String("benches", "", "comma-separated benchmark subset (default: full suite)")
+	flag.Parse()
+
+	var sc exps.Scale
+	switch *scale {
+	case "quick":
+		sc = exps.Quick
+	case "full":
+		sc = exps.Full
+	default:
+		fmt.Fprintf(os.Stderr, "rwpexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	suite := exps.NewSuite(sc)
+	if *benches != "" {
+		suite.Benches = strings.Split(*benches, ",")
+	}
+	ran := false
+	for _, e := range exps.Registry() {
+		if *exp != "" && !strings.EqualFold(e.ID, *exp) {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+		t, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err == nil {
+				err = t.RenderCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rwpexp: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

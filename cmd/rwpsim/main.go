@@ -1,0 +1,127 @@
+// Command rwpsim runs one workload (or a 4-core mix) through the
+// simulator and prints the measured metrics.
+//
+// Examples:
+//
+//	rwpsim -workload mcf -policy rwp
+//	rwpsim -workload mcf -policy lru -llc 4MiB -ways 32
+//	rwpsim -mix gcc,sphinx3,povray,namd -policy rwp
+//	rwpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rwp"
+)
+
+func parseSize(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := 1
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "MIB"), strings.HasSuffix(upper, "MB"), strings.HasSuffix(upper, "M"):
+		mult = 1 << 20
+		upper = strings.TrimRight(upper, "MIB")
+	case strings.HasSuffix(upper, "KIB"), strings.HasSuffix(upper, "KB"), strings.HasSuffix(upper, "K"):
+		mult = 1 << 10
+		upper = strings.TrimRight(upper, "KIB")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(upper))
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "workload name (see -list)")
+		mix          = flag.String("mix", "", "comma-separated workloads for a shared-LLC run")
+		traceFile    = flag.String("trace", "", "binary trace file to simulate instead of a workload")
+		policyName   = flag.String("policy", "rwp", "LLC policy")
+		llcSize      = flag.String("llc", "", "LLC capacity override, e.g. 4MiB")
+		ways         = flag.Int("ways", 0, "LLC associativity override")
+		warmup       = flag.Uint64("warmup", 0, "warmup accesses per core")
+		measure      = flag.Uint64("measure", 0, "measured accesses per core")
+		list         = flag.Bool("list", false, "list workloads and policies, then exit")
+		seed         = flag.Uint64("seed", 0, "workload random-stream offset (robustness checks)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("policies:", strings.Join(rwp.Policies(), " "))
+		fmt.Println("workloads (SENS = cache-sensitive):")
+		for _, w := range rwp.Workloads() {
+			tag := "      "
+			if w.CacheSensitive {
+				tag = "SENS  "
+			}
+			fmt.Printf("  %s%-12s intensity=%.2f\n", tag, w.Name, w.MemIntensity)
+		}
+		return
+	}
+
+	size, err := parseSize(*llcSize)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := rwp.Config{
+		Policy:   *policyName,
+		LLCBytes: size,
+		LLCWays:  *ways,
+		Warmup:   *warmup,
+		Measure:  *measure,
+		Seed:     *seed,
+	}
+
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := rwp.RunTrace(*traceFile, f, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+	case *mix != "":
+		names := strings.Split(*mix, ",")
+		res, err := rwp.RunMix(names, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("policy=%s throughput=%.3f\n", res.Policy, res.Throughput)
+		for _, r := range res.PerCore {
+			printResult(r)
+		}
+	case *workloadName != "":
+		res, err := rwp.Run(*workloadName, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+	default:
+		fmt.Fprintln(os.Stderr, "rwpsim: need -workload or -mix (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printResult(r rwp.Result) {
+	fmt.Printf("%-12s policy=%-6s IPC=%.3f rdMPKI=%.2f totMPKI=%.2f WBPKI=%.2f llcReadHit=%.1f%%\n",
+		r.Workload, r.Policy, r.IPC, r.ReadMPKI, r.TotalMPKI, r.WritebacksPKI, r.LLCReadHitRate*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rwpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"":      0,
+		"4MiB":  4 << 20,
+		"2MB":   2 << 20,
+		"1M":    1 << 20,
+		"256K":  256 << 10,
+		"64KiB": 64 << 10,
+		"32KB":  32 << 10,
+		"12345": 12345,
+		" 8M ":  8 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"abc", "4GiBB", "-"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

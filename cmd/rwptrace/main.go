@@ -1,0 +1,96 @@
+// Command rwptrace generates and inspects binary memory traces.
+//
+// Examples:
+//
+//	rwptrace -gen mcf -n 1000000 -o mcf.trace
+//	rwptrace -info mcf.trace
+//	rwptrace -dump mcf.trace -n 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"rwp"
+	"rwp/internal/trace"
+)
+
+func main() {
+	var (
+		gen  = flag.String("gen", "", "workload to generate a trace from")
+		n    = flag.Uint64("n", 1_000_000, "number of accesses to generate (or dump)")
+		out  = flag.String("o", "", "output file (default stdout)")
+		info = flag.String("info", "", "trace file to summarize")
+		dump = flag.String("dump", "", "trace file to print as text")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}()
+			w = f
+		}
+		count, err := rwp.WriteTrace(w, *gen, *n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rwptrace: wrote %d accesses of %s\n", count, *gen)
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sum, err := rwp.ReadTraceSummary(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("accesses:     %d\n", sum.Accesses)
+		fmt.Printf("loads:        %d (%.1f%%)\n", sum.Loads, sum.ReadRatio*100)
+		fmt.Printf("stores:       %d\n", sum.Stores)
+		fmt.Printf("lines:        %d (%.1f MiB footprint)\n", sum.Lines, float64(sum.Lines)*64/(1<<20))
+		fmt.Printf("instructions: %d\n", sum.Instructions)
+	case *dump != "":
+		f, err := os.Open(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(os.Stdout)
+		src := trace.NewLimit(trace.NewReader(f), *n)
+		for {
+			a, err := src.Next()
+			if err == trace.ErrEnd {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "%d %s %#x pc=%#x\n", a.IC, a.Kind, uint64(a.Addr), uint64(a.PC))
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rwptrace: need -gen or -info")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rwptrace:", err)
+	os.Exit(1)
+}

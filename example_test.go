@@ -1,0 +1,76 @@
+package rwp_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rwp"
+)
+
+// The canonical comparison: one benchmark under the baseline LRU policy
+// and under Read-Write Partitioning.
+func ExampleRun() {
+	lru, err := rwp.Run("sphinx3", rwp.Config{Policy: "lru"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rwp.Run("sphinx3", rwp.Config{Policy: "rwp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RWP speedup over LRU: %+.0f%%\n", (res.IPC/lru.IPC-1)*100)
+	fmt.Printf("read misses removed:  %+.0f%%\n", (1-res.ReadMPKI/lru.ReadMPKI)*100)
+}
+
+// Four workloads share a 4 MiB LLC, the paper's multi-core setup.
+func ExampleRunMix() {
+	mix := []string{"sphinx3", "dealII", "gobmk", "namd"}
+	res, err := rwp.RunMix(mix, rwp.Config{Policy: "rwp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system throughput: %.2f IPC across %d cores\n",
+		res.Throughput, len(res.PerCore))
+}
+
+// Traces round-trip through the binary codec: record a workload, then
+// replay it bit-identically.
+func ExampleRunTrace() {
+	var buf bytes.Buffer
+	if _, err := rwp.WriteTrace(&buf, "bzip2", 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	res, err := rwp.RunTrace("bzip2", &buf, rwp.Config{
+		Policy: "rwp", Warmup: 200_000, Measure: 800_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %s: IPC %.2f\n", res.Workload, res.IPC)
+}
+
+// Watch RWP's dirty-partition target adapt across program phases.
+func ExampleRunPhases() {
+	cfg := rwp.Config{Policy: "rwp", Warmup: 200_000, Measure: 600_000}
+	_, series, err := rwp.RunPhases([]string{"cactusADM", "sphinx3"}, cfg, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dirty target: %d/16 during dirty-read phase, %d/16 after\n",
+		series[1].DirtyTarget, series[len(series)-1].DirtyTarget)
+}
+
+// Reproduce the paper's storage claim: RWP at a few percent of RRP.
+func ExampleStateOverhead() {
+	rwpBits, _, err := rwp.StateOverhead("rwp", rwp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rrpBits, _, err := rwp.StateOverhead("rrp", rwp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RWP needs %.1f%% of RRP's state\n", 100*float64(rwpBits)/float64(rrpBits))
+	// Output: RWP needs 4.1% of RRP's state
+}

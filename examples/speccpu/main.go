@@ -1,0 +1,79 @@
+// speccpu sweeps the whole synthetic SPEC-CPU2006-like suite under every
+// mechanism the paper compares (LRU, DIP, DRRIP, SHiP, RWP, RRP) and
+// prints a per-benchmark speedup matrix over LRU — the shape of the
+// paper's Figure 7/8.
+//
+// This runs ~170 simulations; expect a couple of minutes. Pass -fast for
+// a shorter, noisier sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"rwp"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "shorter runs (noisier)")
+	flag.Parse()
+
+	cfg := rwp.Config{}
+	if *fast {
+		cfg.Warmup = 100_000
+		cfg.Measure = 300_000
+	}
+	policies := []string{"dip", "drrip", "ship", "rwp", "rrp"}
+
+	fmt.Printf("%-12s %-6s", "bench", "class")
+	for _, p := range policies {
+		fmt.Printf(" %8s", p)
+	}
+	fmt.Println()
+
+	logsum := map[string]float64{}
+	logsumSens := map[string]float64{}
+	nSens := 0
+	workloads := rwp.Workloads()
+	for _, w := range workloads {
+		base := cfg
+		base.Policy = "lru"
+		lru, err := rwp.Run(w.Name, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		class := "insens"
+		if w.CacheSensitive {
+			class = "SENS"
+			nSens++
+		}
+		fmt.Printf("%-12s %-6s", w.Name, class)
+		for _, p := range policies {
+			c := cfg
+			c.Policy = p
+			r, err := rwp.Run(w.Name, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp := r.IPC / lru.IPC
+			logsum[p] += math.Log(sp)
+			if w.CacheSensitive {
+				logsumSens[p] += math.Log(sp)
+			}
+			fmt.Printf(" %+7.1f%%", (sp-1)*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%-19s", "geomean (all)")
+	for _, p := range policies {
+		fmt.Printf(" %+7.1f%%", (math.Exp(logsum[p]/float64(len(workloads)))-1)*100)
+	}
+	fmt.Printf("\n%-19s", "geomean (sensitive)")
+	for _, p := range policies {
+		fmt.Printf(" %+7.1f%%", (math.Exp(logsumSens[p]/float64(nSens))-1)*100)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,55 @@
+// writeheavy demonstrates the paper's motivating observation from the
+// workload side: it generates traces, classifies their reference mix, and
+// shows how LLC capacity sensitivity interacts with write-once traffic.
+//
+// It also demonstrates the trace tooling of the public API: traces are
+// generated to an in-memory buffer in the binary codec and summarized
+// back — the same path `rwptrace -gen`/`-info` uses on files.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rwp"
+)
+
+func main() {
+	benches := []string{"lbm", "gcc", "sphinx3", "namd"}
+
+	fmt.Println("1. What the traces look like (100k accesses each):")
+	fmt.Printf("%-10s %10s %10s %14s\n", "bench", "reads", "writes", "footprint")
+	for _, b := range benches {
+		var buf bytes.Buffer
+		if _, err := rwp.WriteTrace(&buf, b, 100_000); err != nil {
+			log.Fatal(err)
+		}
+		sum, err := rwp.ReadTraceSummary(&buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9.1f%% %9.1f%% %11.1f MiB\n",
+			b, sum.ReadRatio*100, (1-sum.ReadRatio)*100,
+			float64(sum.Lines)*64/(1<<20))
+	}
+
+	fmt.Println("\n2. Where the write traffic hurts — and what RWP recovers:")
+	fmt.Printf("%-10s %12s %12s %12s\n", "bench", "LRU rdMPKI", "RWP rdMPKI", "speedup")
+	for _, b := range benches {
+		lru, err := rwp.Run(b, rwp.Config{Policy: "lru"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rwp.Run(b, rwp.Config{Policy: "rwp"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.2f %12.2f %+11.1f%%\n",
+			b, lru.ReadMPKI, res.ReadMPKI, (res.IPC/lru.IPC-1)*100)
+	}
+
+	fmt.Println("\nlbm streams writes no policy can cache (insensitive); gcc and")
+	fmt.Println("sphinx3 mix reusable reads with write-once output, which is exactly")
+	fmt.Println("where partitioning reclaims capacity; namd fits in cache entirely.")
+}

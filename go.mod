@@ -1,0 +1,3 @@
+module rwp
+
+go 1.22

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"rwp/internal/cache"
+	"rwp/internal/policy"
+)
+
+// RWPB is the bypass extension of RWP sketched in the paper's discussion
+// of RRP: when the partition predictor concludes that dirty lines serve
+// no reads at all (target = 0), incoming writebacks are not even
+// allocated — they stream straight to memory, sparing the clean
+// partition the churn of transient dirty fills. With a non-zero target
+// the mechanism degenerates to plain RWP.
+//
+// RWPB needs no additional state over RWP: the bypass verdict reuses the
+// existing dirty-partition target.
+type RWPB struct {
+	*RWP
+	bypasses uint64
+}
+
+// NewBypass returns an RWPB policy over the given RWP configuration.
+func NewBypass(cfg Config) *RWPB { return &RWPB{RWP: New(cfg)} }
+
+// Name implements cache.Policy.
+func (p *RWPB) Name() string { return "rwpb" }
+
+// Victim implements cache.Policy: writeback misses bypass while the
+// predictor sizes the dirty partition at zero.
+func (p *RWPB) Victim(set int, ai cache.AccessInfo) (int, bool) {
+	if ai.Class == cache.Writeback && p.TargetDirty() == 0 {
+		p.observe(set, ai) // the sampler still sees the access
+		p.bypasses++
+		return 0, true
+	}
+	return p.RWP.Victim(set, ai)
+}
+
+// Bypasses returns how many writebacks were routed around the cache.
+func (p *RWPB) Bypasses() uint64 { return p.bypasses }
+
+func init() {
+	policy.Register("rwpb", func() cache.Policy { return NewBypass(DefaultConfig()) })
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+	"rwp/internal/policy"
+)
+
+func newRWPBCache(t *testing.T, ways int, cfg Config) (*cache.Cache, *RWPB) {
+	t.Helper()
+	p := NewBypass(cfg)
+	c, err := cache.New(cache.Config{Name: "llc", SizeBytes: 64 * ways * 8, Ways: ways, LineSize: 64}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestRWPBRegistered(t *testing.T) {
+	p, err := policy.New("rwpb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "rwpb" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}
+
+func TestRWPBBypassesWritebacksAtZeroTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interval = 1 << 62
+	cfg.InitialDirtyTarget = 0
+	c, p := newRWPBCache(t, 4, cfg)
+	// Writeback misses must bypass.
+	res := c.Access(1, 0, cache.Writeback, 0)
+	if !res.Bypassed {
+		t.Fatal("writeback not bypassed at target 0")
+	}
+	if p.Bypasses() != 1 {
+		t.Fatalf("bypass counter = %d", p.Bypasses())
+	}
+	// Loads still allocate.
+	res = c.Access(2, 0, cache.DemandLoad, 0)
+	if res.Bypassed {
+		t.Fatal("load bypassed")
+	}
+	if _, _, ok := c.Lookup(2); !ok {
+		t.Fatal("load fill missing")
+	}
+}
+
+func TestRWPBAllocatesWritebacksAtNonzeroTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interval = 1 << 62
+	cfg.InitialDirtyTarget = 2
+	c, p := newRWPBCache(t, 4, cfg)
+	res := c.Access(1, 0, cache.Writeback, 0)
+	if res.Bypassed {
+		t.Fatal("writeback bypassed despite non-zero target")
+	}
+	if p.Bypasses() != 0 {
+		t.Fatalf("bypass counter = %d", p.Bypasses())
+	}
+	if _, _, ok := c.Lookup(1); !ok {
+		t.Fatal("writeback not allocated")
+	}
+}
+
+func TestRWPBMatchesRWPOnReadOnlyStreams(t *testing.T) {
+	// Without writebacks the two mechanisms must be indistinguishable.
+	run := func(p cache.Policy) uint64 {
+		c, err := cache.New(cache.Config{Name: "llc", SizeBytes: 8192, Ways: 4, LineSize: 64}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50000; i++ {
+			c.Access(mem.LineAddr(i%150), 0, cache.DemandLoad, 0)
+		}
+		return c.Stats().ReadMisses()
+	}
+	cfg := DefaultConfig()
+	cfg.Interval = 1000
+	cfg.SamplerSets = 4
+	if a, b := run(New(cfg)), run(NewBypass(cfg)); a != b {
+		t.Fatalf("read-only behavior differs: rwp=%d rwpb=%d", a, b)
+	}
+}
+
+func TestRWPBReducesWriteOnceChurn(t *testing.T) {
+	// Write-once pollution with a hot read set: RWPB should suffer no
+	// more read misses than RWP (bypass only helps) once trained.
+	run := func(p cache.Policy) uint64 {
+		c, err := cache.New(cache.Config{Name: "llc", SizeBytes: 16384, Ways: 8, LineSize: 64}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr := mem.LineAddr(1 << 20)
+		for i := 0; i < 200000; i++ {
+			c.Access(mem.LineAddr(i%224), 0, cache.DemandLoad, 0)
+			if i%2 == 0 {
+				c.Access(wr, 0, cache.Writeback, 0)
+				wr++
+			}
+		}
+		return c.Stats().ReadMisses()
+	}
+	cfg := DefaultConfig()
+	cfg.Interval = 5000
+	cfg.SamplerSets = 8
+	rwpMisses := run(New(cfg))
+	rwpbMisses := run(NewBypass(cfg))
+	if rwpbMisses > rwpMisses {
+		t.Fatalf("rwpb read misses %d > rwp %d", rwpbMisses, rwpMisses)
+	}
+}

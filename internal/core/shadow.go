@@ -1,0 +1,122 @@
+package core
+
+import "rwp/internal/mem"
+
+// shadowSet is the sampler state for one shadowed cache set: two
+// full-associativity LRU stacks of line addresses, one for lines whose
+// shadow copy is clean and one for dirty. Together they let the predictor
+// ask "how many read hits would a clean partition of size c and a dirty
+// partition of size d have captured?" for every (c, d) split at once.
+type shadowSet struct {
+	clean shadowStack
+	dirty shadowStack
+}
+
+func newShadowSet(ways int) *shadowSet {
+	return &shadowSet{
+		clean: shadowStack{cap: ways},
+		dirty: shadowStack{cap: ways},
+	}
+}
+
+// access processes one reference to the shadowed set, crediting read hits
+// into the distance histograms.
+//
+// Membership semantics mirror the refetch economics of the real policy:
+//
+//   - A read hit in the dirty stack is credited to the dirty histogram.
+//     If the line was written only once, it then migrates to the clean
+//     stack: had the dirty partition evicted it instead, the line would
+//     have been written back and returned as a *clean* fill on this very
+//     read, so every later read is a clean-partition hit either way —
+//     crediting them to dirty would drastically over-value dirty capacity
+//     for lightly-written hot data (and starve knife-edge read sets).
+//   - A line that is written *again* (rewritten) loses that escape hatch:
+//     it re-dirties right after any refill, so all its read hits genuinely
+//     depend on dirty capacity and it stays in the dirty stack.
+func (s *shadowSet) access(line mem.LineAddr, isRead bool, cleanHist, dirtyHist []uint64) {
+	if isRead {
+		if d := s.clean.find(line); d >= 0 {
+			cleanHist[d]++
+			s.clean.touch(d)
+			return
+		}
+		if d := s.dirty.find(line); d >= 0 {
+			dirtyHist[d]++
+			if s.dirty.entries[d].rewritten {
+				s.dirty.touch(d)
+				return
+			}
+			s.dirty.remove(d)
+			s.clean.insertMRU(line, true) // everWritten: a rewrite re-dirties for good
+			return
+		}
+		// Read miss: the line would be filled clean (and unwritten).
+		s.clean.insertMRU(line, false)
+		return
+	}
+	// Write: the line belongs to the dirty stack afterwards.
+	if d := s.clean.find(line); d >= 0 {
+		rewritten := s.clean.entries[d].rewritten // carried everWritten flag
+		s.clean.remove(d)
+		s.dirty.insertMRU(line, rewritten)
+		return
+	}
+	if d := s.dirty.find(line); d >= 0 {
+		s.dirty.entries[d].rewritten = true
+		s.dirty.touch(d)
+		return
+	}
+	s.dirty.insertMRU(line, false)
+}
+
+// shadowEntry is one tracked line. In the clean stack the flag means
+// "was ever written" (so a future write counts as a rewrite); in the
+// dirty stack it means "written more than once".
+type shadowEntry struct {
+	line      mem.LineAddr
+	rewritten bool
+}
+
+// shadowStack is a bounded LRU stack of shadow entries, MRU first.
+type shadowStack struct {
+	cap     int
+	entries []shadowEntry
+}
+
+// find returns the stack distance of line (0 = MRU) or -1.
+func (st *shadowStack) find(line mem.LineAddr) int {
+	for i := range st.entries {
+		if st.entries[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch promotes the entry at distance d to MRU.
+func (st *shadowStack) touch(d int) {
+	e := st.entries[d]
+	copy(st.entries[1:d+1], st.entries[:d])
+	st.entries[0] = e
+}
+
+// remove deletes the entry at distance d.
+func (st *shadowStack) remove(d int) {
+	st.entries = append(st.entries[:d], st.entries[d+1:]...)
+}
+
+// insertMRU pushes line at MRU with the given flag, evicting the LRU
+// entry if full.
+func (st *shadowStack) insertMRU(line mem.LineAddr, flag bool) {
+	if len(st.entries) >= st.cap {
+		copy(st.entries[1:], st.entries[:st.cap-1]) // drop the LRU tail
+	} else {
+		st.entries = append(st.entries, shadowEntry{})
+		copy(st.entries[1:], st.entries[:len(st.entries)-1])
+	}
+	st.entries[0] = shadowEntry{line: line, rewritten: flag}
+}
+
+// size returns the number of shadow entries.
+func (st *shadowStack) size() int { return len(st.entries) }

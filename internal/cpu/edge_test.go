@@ -1,0 +1,63 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFinishBelowIssuedIsSafe(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	c.Load(1000, 3) // advances issue to 1000
+	st := c.Finish(500)
+	if st.Cycles == 0 {
+		t.Fatal("no cycles after Finish")
+	}
+	if st.Instructions != 500 {
+		t.Fatalf("Instructions = %d", st.Instructions)
+	}
+}
+
+func TestCyclesMonotoneQuick(t *testing.T) {
+	// Property: the core's clock never runs backwards under any access
+	// pattern, and IPC never exceeds the issue width.
+	f := func(ops []uint16) bool {
+		c, err := New(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		ic := uint64(0)
+		prev := uint64(0)
+		for _, op := range ops {
+			ic += uint64(op%7) + 1
+			lat := uint64(op%400) + 1
+			if op%3 == 0 {
+				c.Store(ic, lat)
+			} else {
+				c.Load(ic, lat)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		st := c.Finish(ic + 1)
+		if st.Cycles < prev {
+			return false
+		}
+		return st.IPC() <= float64(DefaultConfig().Width)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowBoundsOutstandingWork(t *testing.T) {
+	// With a tiny window, a single slow load gates everything: the run
+	// takes at least the load latency.
+	c := mustNew(t, Config{Width: 4, Window: 4, MSHRs: 16, StoreBuffer: 32})
+	c.Load(10, 1000)
+	st := c.Finish(100)
+	if st.Cycles < 1000 {
+		t.Fatalf("cycles = %d; tiny window should expose the full latency", st.Cycles)
+	}
+}

@@ -1,0 +1,116 @@
+package dram
+
+import "testing"
+
+func mustNew(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []Config{
+		{Latency: 0, CyclesPerTransfer: 4, WriteQueue: 8},
+		{Latency: 100, CyclesPerTransfer: 0, WriteQueue: 8},
+		{Latency: 100, CyclesPerTransfer: 4, WriteQueue: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := New(bad); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+}
+
+func TestReadLatencyUncontended(t *testing.T) {
+	d := mustNew(t, Config{Latency: 200, CyclesPerTransfer: 4, WriteQueue: 8})
+	done := d.Read(1000)
+	if done != 1200 {
+		t.Fatalf("uncontended read completes at %d, want 1200", done)
+	}
+}
+
+func TestBandwidthSerializesReads(t *testing.T) {
+	d := mustNew(t, Config{Latency: 200, CyclesPerTransfer: 4, WriteQueue: 8})
+	first := d.Read(0)
+	second := d.Read(0) // same cycle: must queue behind the first transfer
+	if second <= first {
+		t.Fatalf("second read (%d) not delayed behind first (%d)", second, first)
+	}
+	if second != first+4 {
+		t.Fatalf("second read at %d, want first+4 = %d", second, first+4)
+	}
+}
+
+func TestWritesAreBufferedUntilQueueFull(t *testing.T) {
+	d := mustNew(t, Config{Latency: 200, CyclesPerTransfer: 4, WriteQueue: 4})
+	for i := 0; i < 4; i++ {
+		d.Write(0)
+	}
+	if d.Stats().WriteStalls != 0 {
+		t.Fatal("writes within queue capacity stalled")
+	}
+	// A read right now should NOT be delayed by buffered writes.
+	if done := d.Read(0); done != 200 {
+		t.Fatalf("read delayed by buffered writes: done at %d", done)
+	}
+	// Overflowing the queue steals channel slots.
+	for i := 0; i < 10; i++ {
+		d.Write(0)
+	}
+	if d.Stats().WriteStalls == 0 {
+		t.Fatal("queue overflow produced no write stalls")
+	}
+}
+
+func TestIdleGapsDrainWrites(t *testing.T) {
+	d := mustNew(t, Config{Latency: 200, CyclesPerTransfer: 4, WriteQueue: 64})
+	for i := 0; i < 10; i++ {
+		d.Write(0)
+	}
+	if d.PendingWrites() != 10 {
+		t.Fatalf("pending = %d", d.PendingWrites())
+	}
+	// A long idle gap lets all writes drain.
+	d.Read(10_000)
+	if d.PendingWrites() != 0 {
+		t.Fatalf("pending after idle gap = %d, want 0", d.PendingWrites())
+	}
+	if d.Stats().QueuedDrains != 10 {
+		t.Fatalf("drains = %d, want 10", d.Stats().QueuedDrains)
+	}
+}
+
+func TestHeavyWriteTrafficDelaysReads(t *testing.T) {
+	// Saturating write stream: subsequent reads see queueing delay — the
+	// regime where writes become critical.
+	d := mustNew(t, Config{Latency: 200, CyclesPerTransfer: 4, WriteQueue: 4})
+	for i := 0; i < 1000; i++ {
+		d.Write(0)
+	}
+	done := d.Read(0)
+	if done <= 200+4 {
+		t.Fatalf("read after write flood completed at %d; expected queueing delay", done)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	d.Read(0)
+	d.Write(0)
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	d.ResetStats()
+	if d.Stats().Reads != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}

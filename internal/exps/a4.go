@@ -1,0 +1,72 @@
+package exps
+
+import (
+	"rwp/internal/report"
+	"rwp/internal/stats"
+)
+
+// A4 — evaluation of the RWPB extension (writeback bypass at dirty
+// target 0): does routing predicted-useless writebacks around the LLC
+// buy anything beyond plain RWP, and what does it do to memory write
+// traffic?
+
+// A4Row is one benchmark's RWP-vs-RWPB comparison.
+type A4Row struct {
+	Bench       string
+	RWPSpeedup  float64 // over LRU
+	RWPBSpeedup float64
+	RWPWBPKI    float64
+	RWPBWBPKI   float64
+}
+
+// A4Result is the experiment outcome.
+type A4Result struct {
+	Rows []A4Row
+	// GeoRWP and GeoRWPB are geomean speedups over LRU (sensitive set).
+	GeoRWP  float64
+	GeoRWPB float64
+}
+
+// A4 runs the comparison.
+func (s *Suite) A4() (*report.Table, A4Result, error) {
+	var res A4Result
+	var spW, spB []float64
+	for _, bench := range s.sensitive() {
+		lru, err := s.runSingle(bench, "lru", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		w, err := s.runSingle(bench, "rwp", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		b, err := s.runSingle(bench, "rwpb", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		row := A4Row{
+			Bench:       bench,
+			RWPSpeedup:  stats.Speedup(w.IPC, lru.IPC),
+			RWPBSpeedup: stats.Speedup(b.IPC, lru.IPC),
+			RWPWBPKI:    w.WBPKI,
+			RWPBWBPKI:   b.WBPKI,
+		}
+		res.Rows = append(res.Rows, row)
+		spW = append(spW, row.RWPSpeedup)
+		spB = append(spB, row.RWPBSpeedup)
+	}
+	res.GeoRWP = stats.GeoMean(spW)
+	res.GeoRWPB = stats.GeoMean(spB)
+
+	t := report.New("A4: RWPB extension (writeback bypass at target 0) vs RWP",
+		"bench", "rwp speedup", "rwpb speedup", "rwp WBPKI", "rwpb WBPKI")
+	for _, r := range res.Rows {
+		t.AddRow(r.Bench, report.Pct(r.RWPSpeedup), report.Pct(r.RWPBSpeedup),
+			report.F(r.RWPWBPKI, 2), report.F(r.RWPBWBPKI, 2))
+	}
+	t.AddRule()
+	t.AddRow("geomean", report.Pct(res.GeoRWP), report.Pct(res.GeoRWPB))
+	t.Note = "bypass spares the LLC churn of dead writebacks; DRAM writes are unchanged " +
+		"(a dead dirty line reaches memory either way)"
+	return t, res, nil
+}

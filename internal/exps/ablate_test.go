@@ -1,0 +1,73 @@
+package exps
+
+import (
+	"fmt"
+	"testing"
+
+	"rwp/internal/policy"
+)
+
+func TestAblationVariantsRegistered(t *testing.T) {
+	var names []string
+	for _, d := range a1StaticTargets {
+		names = append(names, fmt.Sprintf("rwp-static-%d", d))
+	}
+	for _, n := range a2SamplerCounts {
+		names = append(names, fmt.Sprintf("rwp-samp-%d", n))
+	}
+	for _, iv := range a3Intervals {
+		names = append(names, fmt.Sprintf("rwp-int-%d", iv/1000))
+	}
+	for _, dc := range a3Decays {
+		names = append(names, fmt.Sprintf("rwp-decay-%d", dc))
+	}
+	for _, n := range names {
+		p, err := policy.New(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if p.Name() != "rwp" {
+			t.Fatalf("%s built %q", n, p.Name())
+		}
+	}
+}
+
+func TestStaticVariantIsReallyStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSuite(tiny)
+	// A static all-dirty split must behave differently from static
+	// no-dirty on a write-once-polluted workload: target 16 protects the
+	// junk, target 0 evicts it.
+	r0, err := s.runSingle("sphinx3", "rwp-static-0", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := s.runSingle("sphinx3", "rwp-static-16", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.ReadMPKI >= r16.ReadMPKI {
+		t.Fatalf("static-0 ReadMPKI %.2f >= static-16 %.2f; partition bound has no effect",
+			r0.ReadMPKI, r16.ReadMPKI)
+	}
+}
+
+func TestDynamicTracksGoodStaticOnOneBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSuite(tiny)
+	dyn, err := s.runSingle("sphinx3", "rwp", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := s.runSingle("sphinx3", "rwp-static-16", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.IPC <= worst.IPC {
+		t.Fatalf("dynamic IPC %.3f <= all-dirty static %.3f", dyn.IPC, worst.IPC)
+	}
+}

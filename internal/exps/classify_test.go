@@ -1,0 +1,40 @@
+package exps
+
+import "testing"
+
+// TestSensitivityLabelsMatchMeasurement validates the CacheSensitive
+// flags the way the paper defines the subset: a benchmark is
+// cache-sensitive iff growing the LLC measurably reduces its read
+// misses. Every declared label must agree with a 1 MiB → 8 MiB sweep.
+func TestSensitivityLabelsMatchMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy: 2 runs per benchmark")
+	}
+	s := NewSuite(tiny)
+	sens := make(map[string]bool)
+	for _, n := range s.sensitive() {
+		sens[n] = true
+	}
+	for _, bench := range s.allBenches() {
+		small, err := s.runSingle(bench, "lru", 1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := s.runSingle(bench, "lru", 8<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := small.ReadMPKI - big.ReadMPKI
+		rel := 0.0
+		if small.ReadMPKI > 0 {
+			rel = delta / small.ReadMPKI
+		}
+		// Sensitive: at least 2 MPKI and 20% of misses recoverable by
+		// capacity. Insensitive: below both thresholds.
+		measured := delta > 2 && rel > 0.20
+		if measured != sens[bench] {
+			t.Errorf("%s: declared sensitive=%v but measured ΔrdMPKI=%.2f (%.0f%%) [1MiB=%.2f 8MiB=%.2f]",
+				bench, sens[bench], delta, rel*100, small.ReadMPKI, big.ReadMPKI)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package exps
+
+import (
+	"rwp/internal/cache"
+	"rwp/internal/hier"
+	"rwp/internal/policy"
+	"rwp/internal/report"
+	"rwp/internal/workload"
+)
+
+// E1 — motivation: what fraction of LLC lines ever serve a read?
+//
+// Every evicted LLC line is classified by its lifetime usage: read-only
+// (served reads, never written), read+written, or write-only (never
+// served a read — pure writeback/store residue LRU wastes space on).
+// The paper's Figure-1 observation is that write-only lines are a large
+// fraction in many applications.
+
+// E1Row is one benchmark's classification.
+type E1Row struct {
+	Bench     string
+	Evicted   uint64
+	ReadOnly  float64 // fractions of evicted lines
+	ReadWrite float64
+	WriteOnly float64
+}
+
+// E1Result is the full experiment outcome.
+type E1Result struct {
+	Rows []E1Row
+	// MeanWriteOnly is the arithmetic-mean write-only fraction.
+	MeanWriteOnly float64
+}
+
+// lineClassifier wraps LRU and classifies lines at eviction. It is
+// registered as "e1-classifier" so the standard hierarchy constructor can
+// build it.
+type lineClassifier struct {
+	policy.LRU
+	r        cache.StateReader
+	wasRead  []bool
+	wasWrite []bool
+
+	readOnly  uint64
+	readWrite uint64
+	writeOnly uint64
+}
+
+func (p *lineClassifier) Name() string { return "e1-classifier" }
+
+func (p *lineClassifier) Attach(r cache.StateReader) {
+	p.LRU.Attach(r)
+	p.r = r
+	n := r.NumSets() * r.Ways()
+	p.wasRead = make([]bool, n)
+	p.wasWrite = make([]bool, n)
+}
+
+func (p *lineClassifier) idx(set, way int) int { return set*p.r.Ways() + way }
+
+func (p *lineClassifier) OnHit(set, way int, ai cache.AccessInfo) {
+	p.LRU.OnHit(set, way, ai)
+	i := p.idx(set, way)
+	if ai.Class.IsRead() {
+		p.wasRead[i] = true
+	} else {
+		p.wasWrite[i] = true
+	}
+}
+
+func (p *lineClassifier) OnEvict(set, way int, ai cache.AccessInfo) {
+	p.LRU.OnEvict(set, way, ai)
+	i := p.idx(set, way)
+	switch {
+	case p.wasRead[i] && p.wasWrite[i]:
+		p.readWrite++
+	case p.wasRead[i]:
+		p.readOnly++
+	default:
+		p.writeOnly++
+	}
+}
+
+func (p *lineClassifier) OnFill(set, way int, ai cache.AccessInfo) {
+	p.LRU.OnFill(set, way, ai)
+	i := p.idx(set, way)
+	// The fill itself is the line's first use.
+	p.wasRead[i] = ai.Class.IsRead()
+	p.wasWrite[i] = ai.Class.IsWrite()
+}
+
+func init() {
+	policy.Register("e1-classifier", func() cache.Policy { return &lineClassifier{} })
+}
+
+// E1 runs the classification over every benchmark.
+func (s *Suite) E1() (*report.Table, E1Result, error) {
+	var res E1Result
+	for _, bench := range s.allBenches() {
+		prof, err := workload.Get(bench)
+		if err != nil {
+			return nil, res, err
+		}
+		cfg := hier.DefaultConfig()
+		cfg.LLCPolicy = "e1-classifier"
+		h, err := hier.New(cfg)
+		if err != nil {
+			return nil, res, err
+		}
+		src := prof.NewSource()
+		total := s.Scale.Warmup + s.Scale.Measure
+		for i := uint64(0); i < total; i++ {
+			a, err := src.Next()
+			if err != nil {
+				return nil, res, err
+			}
+			if a.Kind.IsRead() {
+				h.Load(0, i, a.Addr, a.PC)
+			} else {
+				h.Store(0, i, a.Addr, a.PC)
+			}
+		}
+		cl := h.LLC().Policy().(*lineClassifier)
+		ev := cl.readOnly + cl.readWrite + cl.writeOnly
+		row := E1Row{Bench: bench, Evicted: ev}
+		if ev > 0 {
+			row.ReadOnly = float64(cl.readOnly) / float64(ev)
+			row.ReadWrite = float64(cl.readWrite) / float64(ev)
+			row.WriteOnly = float64(cl.writeOnly) / float64(ev)
+		}
+		res.Rows = append(res.Rows, row)
+		res.MeanWriteOnly += row.WriteOnly
+	}
+	if len(res.Rows) > 0 {
+		res.MeanWriteOnly /= float64(len(res.Rows))
+	}
+
+	t := report.New("E1: LLC line lifetime classification (fractions of evicted lines)",
+		"bench", "evicted", "read-only", "read+write", "write-only")
+	for _, r := range res.Rows {
+		t.AddRow(r.Bench, report.I(r.Evicted), report.F(r.ReadOnly, 3),
+			report.F(r.ReadWrite, 3), report.F(r.WriteOnly, 3))
+	}
+	t.AddRule()
+	t.AddRow("amean", "", "", "", report.F(res.MeanWriteOnly, 3))
+	t.Note = "write-only lines never serve a read: capacity LRU wastes, RWP reclaims"
+	return t, res, nil
+}

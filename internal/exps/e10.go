@@ -1,0 +1,51 @@
+package exps
+
+import (
+	"fmt"
+
+	"rwp/internal/report"
+	"rwp/internal/stats"
+)
+
+// E10 — associativity sensitivity: RWP partitions ways, so its benefit
+// could depend on how many there are. The sweep holds capacity at 2 MiB
+// and varies associativity 8/16/32.
+
+// E10Point is one associativity's outcome.
+type E10Point struct {
+	Ways int
+	Geo  float64
+}
+
+// E10Result is the sweep outcome.
+type E10Result struct {
+	Points []E10Point
+}
+
+// E10 runs the sweep.
+func (s *Suite) E10() (*report.Table, E10Result, error) {
+	var res E10Result
+	for _, ways := range []int{8, 16, 32} {
+		var sp []float64
+		for _, bench := range s.sensitive() {
+			lru, err := s.runSingle(bench, "lru", 0, ways)
+			if err != nil {
+				return nil, res, err
+			}
+			rwp, err := s.runSingle(bench, "rwp", 0, ways)
+			if err != nil {
+				return nil, res, err
+			}
+			sp = append(sp, stats.Speedup(rwp.IPC, lru.IPC))
+		}
+		res.Points = append(res.Points, E10Point{Ways: ways, Geo: stats.GeoMean(sp)})
+	}
+
+	t := report.New("E10: RWP vs LRU geomean speedup by associativity (2 MiB LLC, sensitive set)",
+		"ways", "geomean speedup")
+	for _, p := range res.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Ways), report.Pct(p.Geo))
+	}
+	t.Note = "paper: RWP is robust across associativities"
+	return t, res, nil
+}

@@ -1,0 +1,141 @@
+package exps
+
+import (
+	"fmt"
+
+	"rwp/internal/hier"
+	"rwp/internal/report"
+	"rwp/internal/sim"
+	"rwp/internal/workload"
+	"rwp/internal/xrand"
+)
+
+// E11 — beyond the paper: core-count scaling. The paper evaluates 1 and
+// 4 cores; this experiment sweeps 2/4/8 cores with the shared LLC scaled
+// at 1 MiB per core and a fixed pair of cache-sensitive members per mix,
+// so the sweep exposes RWP's benefit window: contended at small shared
+// caches, absorbed once capacity swallows the read working sets anyway.
+
+// E11Point is one core count's outcome.
+type E11Point struct {
+	Cores int
+	// MeanThroughputVsLRU is amean over mixes of RWP/LRU throughput.
+	MeanThroughputVsLRU float64
+}
+
+// E11Result is the sweep outcome.
+type E11Result struct {
+	Points []E11Point
+}
+
+// e11DrawMix draws one n-benchmark mix: half sensitive, half from the
+// compute-bound pool, deterministic per (n, index).
+func (s *Suite) e11DrawMix(rng *xrand.RNG, n int) []string {
+	sens := s.sensitive()
+	var fits []string
+	for _, b := range s.insensitive() {
+		if p, err := workload.Get(b); err == nil && p.MemIntensity < 0.3 {
+			fits = append(fits, b)
+		}
+	}
+	if len(fits) == 0 {
+		fits = s.insensitive()
+	}
+	mix := make([]string, 0, n)
+	used := map[string]bool{}
+	add := func(pool []string) {
+		// Prefer an unused member of pool; fall back to any unused
+		// benchmark so small restricted suites cannot hang the draw.
+		try := func(cands []string) bool {
+			avail := 0
+			for _, b := range cands {
+				if !used[b] {
+					avail++
+				}
+			}
+			if avail == 0 {
+				return false
+			}
+			for {
+				b := cands[rng.Intn(len(cands))]
+				if !used[b] {
+					mix = append(mix, b)
+					used[b] = true
+					return true
+				}
+			}
+		}
+		if try(pool) || try(s.allBenches()) {
+			return
+		}
+		mix = append(mix, pool[rng.Intn(len(pool))]) // degenerate: reuse
+	}
+	// Exactly two sensitive members regardless of core count: the read
+	// pressure is held constant while the shared capacity grows with n,
+	// exposing where the partitioning benefit saturates.
+	for len(mix) < n {
+		if len(mix) < 2 && len(used) < len(sens) {
+			add(sens)
+		} else {
+			add(fits)
+		}
+	}
+	return mix
+}
+
+// E11 runs the scaling sweep. The number of mixes per core count scales
+// down with core count to keep runtime bounded.
+func (s *Suite) E11() (*report.Table, E11Result, error) {
+	var res E11Result
+	rng := xrand.New(0xE11)
+	mixesPer := s.Scale.Mixes
+	if mixesPer > 4 {
+		mixesPer = 4
+	}
+	for _, cores := range []int{2, 4, 8} {
+		var ratios []float64
+		for m := 0; m < mixesPer; m++ {
+			mix := s.e11DrawMix(rng, cores)
+			profs := make([]workload.Profile, len(mix))
+			for i, b := range mix {
+				p, err := workload.Get(b)
+				if err != nil {
+					return nil, res, err
+				}
+				profs[i] = p
+			}
+			opt := sim.DefaultOptions()
+			opt.Hier = hier.MulticoreConfig(cores)
+			opt.Hier.LLC.SizeBytes = cores << 20 // 1 MiB per core
+			opt.Warmup = s.Scale.Warmup
+			opt.Measure = s.Scale.Measure
+			var tp [2]float64
+			for i, pol := range []string{"lru", "rwp"} {
+				opt.Hier.LLCPolicy = pol
+				mr, err := sim.RunMulti(profs, opt)
+				if err != nil {
+					return nil, res, fmt.Errorf("exps: E11 %d-core mix %v: %w", cores, mix, err)
+				}
+				tp[i] = mr.Throughput()
+			}
+			ratios = append(ratios, tp[1]/tp[0])
+		}
+		sum := 0.0
+		for _, r := range ratios {
+			sum += r
+		}
+		res.Points = append(res.Points, E11Point{
+			Cores:               cores,
+			MeanThroughputVsLRU: sum / float64(len(ratios)),
+		})
+	}
+
+	t := report.New("E11: RWP vs LRU throughput by core count (1 MiB shared LLC per core)",
+		"cores", "amean throughput vs LRU")
+	for _, p := range res.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Cores), report.Pct(p.MeanThroughputVsLRU))
+	}
+	t.Note = "fixed 2-sensitive pressure, capacity grows with cores: the benefit " +
+		"window closes once the shared LLC swallows the read working sets under LRU too"
+	return t, res, nil
+}

@@ -1,0 +1,88 @@
+package exps
+
+import (
+	"rwp/internal/report"
+	"rwp/internal/stats"
+)
+
+// E3 — the headline single-core result: RWP speedup over LRU, per
+// benchmark, with geometric means over the full suite and over the
+// cache-sensitive subset. Paper targets: +5 % all-suite, +14 % sensitive.
+
+// E3Row is one benchmark's comparison.
+type E3Row struct {
+	Bench     string
+	Sensitive bool
+	LRUIPC    float64
+	RWPIPC    float64
+	Speedup   float64
+	LRUMPKI   float64 // read MPKI
+	RWPMPKI   float64
+}
+
+// E3Result is the experiment outcome.
+type E3Result struct {
+	Rows []E3Row
+	// GeoAll is the geomean speedup across every benchmark.
+	GeoAll float64
+	// GeoSensitive is the geomean over the cache-sensitive subset.
+	GeoSensitive float64
+	// GeoInsensitive is the geomean over the rest.
+	GeoInsensitive float64
+}
+
+// E3 runs the comparison.
+func (s *Suite) E3() (*report.Table, E3Result, error) {
+	var res E3Result
+	sens := make(map[string]bool)
+	for _, n := range s.sensitive() {
+		sens[n] = true
+	}
+	var all, sensOnly, insens []float64
+	for _, bench := range s.allBenches() {
+		lru, err := s.runSingle(bench, "lru", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		rwp, err := s.runSingle(bench, "rwp", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		row := E3Row{
+			Bench:     bench,
+			Sensitive: sens[bench],
+			LRUIPC:    lru.IPC,
+			RWPIPC:    rwp.IPC,
+			Speedup:   stats.Speedup(rwp.IPC, lru.IPC),
+			LRUMPKI:   lru.ReadMPKI,
+			RWPMPKI:   rwp.ReadMPKI,
+		}
+		res.Rows = append(res.Rows, row)
+		all = append(all, row.Speedup)
+		if row.Sensitive {
+			sensOnly = append(sensOnly, row.Speedup)
+		} else {
+			insens = append(insens, row.Speedup)
+		}
+	}
+	res.GeoAll = stats.GeoMean(all)
+	res.GeoSensitive = stats.GeoMean(sensOnly)
+	res.GeoInsensitive = stats.GeoMean(insens)
+
+	t := report.New("E3: single-core RWP vs LRU (2 MiB 16-way LLC)",
+		"bench", "class", "LRU IPC", "RWP IPC", "speedup", "LRU rdMPKI", "RWP rdMPKI")
+	for _, r := range res.Rows {
+		class := "insens"
+		if r.Sensitive {
+			class = "SENS"
+		}
+		t.AddRow(r.Bench, class, report.F(r.LRUIPC, 3), report.F(r.RWPIPC, 3),
+			report.Pct(r.Speedup), report.F(r.LRUMPKI, 2), report.F(r.RWPMPKI, 2))
+	}
+	t.AddRule()
+	t.AddRow("geomean (all)", "", "", "", report.Pct(res.GeoAll))
+	t.AddRow("geomean (sensitive)", "", "", "", report.Pct(res.GeoSensitive))
+	t.AddRow("geomean (insensitive)", "", "", "", report.Pct(res.GeoInsensitive))
+	t.Note = "paper targets: +5% all-suite, +14% cache-sensitive"
+	return t, res, nil
+}

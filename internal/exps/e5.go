@@ -1,0 +1,58 @@
+package exps
+
+import (
+	"rwp/internal/core"
+	"rwp/internal/hier"
+	"rwp/internal/overhead"
+	"rwp/internal/policy"
+	"rwp/internal/report"
+	"rwp/internal/rrp"
+)
+
+// E5 — storage overhead of each mechanism on the paper-scale LLC,
+// computed bit-exactly from the implemented structures. Paper target:
+// RWP needs only 5.4 % of RRP's state.
+
+// E5Result is the experiment outcome.
+type E5Result struct {
+	Breakdowns []overhead.Breakdown
+	// RWPOverRRP is RWP's state as a fraction of RRP's.
+	RWPOverRRP float64
+	// RWPKiB is RWP's absolute cost.
+	RWPKiB float64
+}
+
+// E5 computes the accounting.
+func (s *Suite) E5() (*report.Table, E5Result, error) {
+	llc := hier.DefaultConfig().LLC
+	bds := []overhead.Breakdown{
+		overhead.LRU(llc),
+		overhead.DIP(llc, policy.DefaultPSELBits),
+		overhead.DRRIP(llc, policy.DefaultRRPVBits, policy.DefaultPSELBits),
+		overhead.SHiP(llc, policy.DefaultRRPVBits, policy.DefaultSHCTBits, 3),
+		overhead.RWP(llc, core.DefaultConfig()),
+		overhead.RRP(llc, rrp.DefaultConfig()),
+	}
+	res := E5Result{Breakdowns: bds}
+	var rwpB, rrpB overhead.Breakdown
+	for _, b := range bds {
+		switch b.Name {
+		case "rwp":
+			rwpB = b
+		case "rrp":
+			rrpB = b
+		}
+	}
+	res.RWPOverRRP = overhead.Ratio(rwpB, rrpB)
+	res.RWPKiB = float64(rwpB.TotalBits()) / 8192
+
+	t := report.New("E5: mechanism state overhead (2 MiB 16-way LLC)",
+		"mechanism", "bits", "KiB", "vs RRP")
+	for _, b := range bds {
+		t.AddRow(b.Name, report.I(b.TotalBits()),
+			report.F(float64(b.TotalBits())/8192, 2),
+			report.F(overhead.Ratio(b, rrpB)*100, 1)+"%")
+	}
+	t.Note = "paper target: RWP = 5.4% of RRP's state"
+	return t, res, nil
+}

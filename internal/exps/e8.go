@@ -1,0 +1,133 @@
+package exps
+
+import (
+	"fmt"
+
+	"rwp/internal/core"
+	"rwp/internal/hier"
+	"rwp/internal/report"
+	"rwp/internal/workload"
+)
+
+// E8 — partition dynamics: the dirty-partition target must adapt to
+// program phases. A two-phase composite runs a dirty-read-heavy phase
+// (producer-consumer dominant) followed by a clean-read phase (pointer
+// chase + write-once); the recorded per-interval targets should be
+// high in phase one and collapse in phase two.
+
+// E8Result is the experiment outcome.
+type E8Result struct {
+	// History is the dirty-target trajectory across both phases.
+	History []int
+	// Phase1Mean and Phase2Mean average the targets within each phase.
+	Phase1Mean float64
+	Phase2Mean float64
+	// PerBench[bench] is the mean steady-state target per benchmark.
+	PerBench map[string]float64
+	// BenchOrder preserves display order for PerBench.
+	BenchOrder []string
+}
+
+// e8Feed pushes n accesses from src into h on core 0.
+func e8Feed(h *hier.Hierarchy, src *workload.Source, n uint64, now *uint64) error {
+	for i := uint64(0); i < n; i++ {
+		a, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if a.Kind.IsRead() {
+			h.Load(0, *now, a.Addr, a.PC)
+		} else {
+			h.Store(0, *now, a.Addr, a.PC)
+		}
+		*now++
+	}
+	return nil
+}
+
+// E8 runs the dynamics experiment.
+func (s *Suite) E8() (*report.Table, E8Result, error) {
+	res := E8Result{PerBench: make(map[string]float64)}
+
+	// Two-phase composite.
+	cfg := hier.DefaultConfig()
+	cfg.LLCPolicy = "rwp"
+	h, err := hier.New(cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	rwp, ok := h.LLC().Policy().(*core.RWP)
+	if !ok {
+		return nil, res, fmt.Errorf("exps: LLC policy is not RWP")
+	}
+	dirtyPhase, err := workload.Get("cactusADM")
+	if err != nil {
+		return nil, res, err
+	}
+	cleanPhase, err := workload.Get("mcf")
+	if err != nil {
+		return nil, res, err
+	}
+	now := uint64(0)
+	if err := e8Feed(h, dirtyPhase.NewSource(), s.Scale.E8Phase, &now); err != nil {
+		return nil, res, err
+	}
+	cut := len(rwp.History())
+	if err := e8Feed(h, cleanPhase.NewSource(), s.Scale.E8Phase, &now); err != nil {
+		return nil, res, err
+	}
+	res.History = rwp.History()
+	if cut == 0 || cut >= len(res.History) {
+		return nil, res, fmt.Errorf("exps: E8 needs intervals in both phases (cut=%d, total=%d); increase E8Phase", cut, len(res.History))
+	}
+	for i, d := range res.History {
+		if i < cut {
+			res.Phase1Mean += float64(d)
+		} else {
+			res.Phase2Mean += float64(d)
+		}
+	}
+	res.Phase1Mean /= float64(cut)
+	res.Phase2Mean /= float64(len(res.History) - cut)
+
+	// Per-benchmark steady-state targets for representative profiles.
+	res.BenchOrder = []string{"cactusADM", "GemsFDTD", "mcf", "sphinx3", "lbm", "povray"}
+	for _, bench := range res.BenchOrder {
+		prof, err := workload.Get(bench)
+		if err != nil {
+			return nil, res, err
+		}
+		hb, err := hier.New(cfg)
+		if err != nil {
+			return nil, res, err
+		}
+		rb := hb.LLC().Policy().(*core.RWP)
+		n := uint64(0)
+		if err := e8Feed(hb, prof.NewSource(), s.Scale.E8Phase, &n); err != nil {
+			return nil, res, err
+		}
+		hist := rb.History()
+		if len(hist) == 0 {
+			res.PerBench[bench] = float64(rb.TargetDirty())
+			continue
+		}
+		// Mean over the second half (steady state).
+		sum, cnt := 0.0, 0
+		for _, d := range hist[len(hist)/2:] {
+			sum += float64(d)
+			cnt++
+		}
+		res.PerBench[bench] = sum / float64(cnt)
+	}
+
+	t := report.New("E8: dirty-partition target dynamics (16-way LLC)",
+		"scenario", "mean dirty ways")
+	t.AddRow("phase 1 (cactusADM: dirty lines serve reads)", report.F(res.Phase1Mean, 2))
+	t.AddRow("phase 2 (mcf: clean reads + write-once)", report.F(res.Phase2Mean, 2))
+	t.AddRule()
+	for _, b := range res.BenchOrder {
+		t.AddRow("steady state: "+b, report.F(res.PerBench[b], 2))
+	}
+	t.Note = "the predictor grows the dirty partition only when dirty lines serve reads"
+	return t, res, nil
+}

@@ -1,0 +1,62 @@
+package exps
+
+import (
+	"rwp/internal/report"
+	"rwp/internal/stats"
+)
+
+// E9 — writeback traffic: favoring read-serving lines means evicting
+// dirty lines earlier, so RWP could in principle inflate memory write
+// traffic. The paper verifies it does not explode; this experiment
+// reports DRAM writebacks per kilo-instruction for LRU vs RWP.
+
+// E9Row is one benchmark's traffic comparison.
+type E9Row struct {
+	Bench    string
+	LRUWBPKI float64
+	RWPWBPKI float64
+}
+
+// E9Result is the experiment outcome.
+type E9Result struct {
+	Rows []E9Row
+	// MeanRatio is amean of RWP/LRU writeback ratios over benchmarks
+	// with non-negligible write traffic.
+	MeanRatio float64
+}
+
+// E9 runs the comparison.
+func (s *Suite) E9() (*report.Table, E9Result, error) {
+	var res E9Result
+	var ratios []float64
+	for _, bench := range s.allBenches() {
+		lru, err := s.runSingle(bench, "lru", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		rwp, err := s.runSingle(bench, "rwp", 0, 0)
+		if err != nil {
+			return nil, res, err
+		}
+		row := E9Row{Bench: bench, LRUWBPKI: lru.WBPKI, RWPWBPKI: rwp.WBPKI}
+		res.Rows = append(res.Rows, row)
+		if lru.WBPKI > 0.1 {
+			ratios = append(ratios, rwp.WBPKI/lru.WBPKI)
+		}
+	}
+	res.MeanRatio = stats.AMean(ratios)
+
+	t := report.New("E9: DRAM writebacks per kilo-instruction",
+		"bench", "LRU WBPKI", "RWP WBPKI", "ratio")
+	for _, r := range res.Rows {
+		ratio := "-"
+		if r.LRUWBPKI > 0.1 {
+			ratio = report.F(r.RWPWBPKI/r.LRUWBPKI, 2)
+		}
+		t.AddRow(r.Bench, report.F(r.LRUWBPKI, 2), report.F(r.RWPWBPKI, 2), ratio)
+	}
+	t.AddRule()
+	t.AddRow("amean ratio", "", "", report.F(res.MeanRatio, 2))
+	t.Note = "paper: RWP's extra writeback traffic stays modest"
+	return t, res, nil
+}

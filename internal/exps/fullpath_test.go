@@ -1,0 +1,68 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsOnRestrictedSuite drives every registered
+// experiment end to end on a four-benchmark scope at the tiny scale, so
+// the full code path of each table — sweeps, ablation variants, the
+// 4-core driver — is exercised in CI without the full suite's cost.
+func TestEveryExperimentRunsOnRestrictedSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSuite(tiny)
+	s.Benches = []string{"sphinx3", "gcc", "povray", "lbm"} // 2 sensitive + 2 insensitive
+	for _, e := range Registry() {
+		tb, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := tb.String()
+		if !strings.Contains(out, "==") || len(out) < 80 {
+			t.Fatalf("%s produced an implausibly small table:\n%s", e.ID, out)
+		}
+		// Every table must render to CSV as well.
+		var sb strings.Builder
+		if err := tb.RenderCSV(&sb); err != nil {
+			t.Fatalf("%s: CSV: %v", e.ID, err)
+		}
+	}
+}
+
+func TestAblationDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSuite(tiny)
+	s.Benches = []string{"sphinx3", "gcc"}
+	_, a1, err := s.A1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a two-benchmark scope a single static split can legitimately win
+	// (both workloads may want the same d, and statics pay no training
+	// transient at tiny scale); the dynamic predictor only needs to stay
+	// in the same league here. The across-suite claim is A1 at full scale.
+	if a1.DynamicGeo < 0.90*a1.BestStatic {
+		t.Fatalf("dynamic %.4f far below best static %.4f", a1.DynamicGeo, a1.BestStatic)
+	}
+	if a1.DynamicGeo <= 1.0 {
+		t.Fatalf("dynamic predictor gained nothing: %.4f", a1.DynamicGeo)
+	}
+	// An all-dirty static split must clearly trail the dynamic one on
+	// write-once-polluted workloads.
+	if a1.StaticGeo[16] >= a1.DynamicGeo {
+		t.Fatalf("static-16 %.4f >= dynamic %.4f", a1.StaticGeo[16], a1.DynamicGeo)
+	}
+	_, a2, err := s.A2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More samplers must not be catastrophically worse than fewer.
+	if a2.Geo[128] < 0.9*a2.Geo[4] {
+		t.Fatalf("128 samplers (%.4f) much worse than 4 (%.4f)", a2.Geo[128], a2.Geo[4])
+	}
+}

@@ -1,0 +1,114 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+)
+
+// TestWriteConservationQuick checks the hierarchy-wide write invariant:
+// every DRAM write originates from exactly one store (a store dirties a
+// line once per residency chain, and the dirty bit travels down without
+// duplication), so DRAM writes can never exceed the number of stores.
+// The RFO-fills-clean fix exists precisely because this bound was
+// violated (each written line reached DRAM twice).
+func TestWriteConservationQuick(t *testing.T) {
+	small := func() Config {
+		cfg := DefaultConfig()
+		cfg.L1.SizeBytes = 4 << 10
+		cfg.L2.SizeBytes = 16 << 10
+		cfg.LLC.SizeBytes = 64 << 10
+		return cfg
+	}
+	f := func(ops []uint32, polIdx uint8) bool {
+		policies := []string{"lru", "rwp", "rrp", "drrip"}
+		cfg := small()
+		cfg.LLCPolicy = policies[int(polIdx)%len(policies)]
+		h, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		stores := uint64(0)
+		for i, op := range ops {
+			addr := mem.Addr(op%(1<<18)) * 64
+			if op%3 == 0 {
+				h.Store(0, uint64(i), addr, mem.Addr(op%128)*4)
+				stores++
+			} else {
+				h.Load(0, uint64(i), addr, mem.Addr(op%128)*4)
+			}
+		}
+		return h.DRAM().Stats().Writes <= stores
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritebackChainDepth verifies that a dirty line evicted from L1
+// cascades correctly: L2 absorbs it; when L2 overflows the line arrives
+// at the LLC as a writeback; when the LLC evicts it, DRAM gets exactly
+// one write.
+func TestWritebackChainDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1.SizeBytes = 64 * 8 // 1 set
+	cfg.L2.SizeBytes = 64 * 8
+	cfg.LLC.SizeBytes = 64 * 16
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Store(0, 0, 0, 0x99)
+	// Push through L1 only: line lands dirty in L2.
+	for i := 1; i <= 8; i++ {
+		h.Load(0, uint64(i*100), mem.Addr(i)*64, 0x10)
+	}
+	if got := h.L2(0).Stats().Accesses[cache.Writeback]; got != 1 {
+		t.Fatalf("L2 saw %d writebacks, want 1", got)
+	}
+	if got := h.LLC().Stats().Accesses[cache.Writeback]; got != 0 {
+		t.Fatalf("LLC saw %d writebacks too early", got)
+	}
+	// Push through L2: line reaches the LLC dirty.
+	for i := 9; i <= 16; i++ {
+		h.Load(0, uint64(i*100), mem.Addr(i)*64, 0x10)
+	}
+	if got := h.LLC().Stats().Accesses[cache.Writeback]; got != 1 {
+		t.Fatalf("LLC saw %d writebacks, want 1", got)
+	}
+	if got := h.DRAM().Stats().Writes; got != 0 {
+		t.Fatalf("DRAM written too early: %d", got)
+	}
+	// Push through the LLC: exactly one DRAM write.
+	for i := 17; i <= 40; i++ {
+		h.Load(0, uint64(i*100), mem.Addr(i)*64, 0x10)
+	}
+	if got := h.DRAM().Stats().Writes; got != 1 {
+		t.Fatalf("DRAM writes = %d, want exactly 1", got)
+	}
+}
+
+// TestRFOThenWritebackSingleDRAMWrite reproduces the double-write bug
+// scenario end to end under RWP (which evicts dirty lines aggressively):
+// a stream of stores must produce at most one DRAM write per line.
+func TestRFOThenWritebackSingleDRAMWrite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1.SizeBytes = 8 << 10
+	cfg.L2.SizeBytes = 32 << 10
+	cfg.LLC.SizeBytes = 128 << 10
+	cfg.LLCPolicy = "rwp"
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		h.Store(0, uint64(i*4), mem.Addr(i)*64, 0x70) // write-once stream
+	}
+	writes := h.DRAM().Stats().Writes
+	if writes > n {
+		t.Fatalf("%d DRAM writes for %d written lines: write duplication", writes, n)
+	}
+}

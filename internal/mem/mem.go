@@ -1,0 +1,102 @@
+// Package mem defines the fundamental address and access types shared by
+// every layer of the simulator: physical addresses, cache-line geometry,
+// and the memory-access records that traces, caches and core models
+// exchange.
+//
+// The package is deliberately tiny and allocation-free; all higher layers
+// (traces, caches, timing models) are built on these value types.
+package mem
+
+import "fmt"
+
+// Addr is a byte-granular physical address.
+type Addr uint64
+
+// LineAddr is an address with the block offset stripped: the unit at which
+// caches are tagged. Two accesses share a LineAddr iff they touch the same
+// cache line.
+type LineAddr uint64
+
+// DefaultLineSize is the cache-line size used throughout the paper's
+// configuration (64 bytes).
+const DefaultLineSize = 64
+
+// DefaultLineShift is log2(DefaultLineSize).
+const DefaultLineShift = 6
+
+// Line converts a byte address to its line address for the given line size
+// shift (log2 of line size in bytes).
+func (a Addr) Line(shift uint) LineAddr { return LineAddr(uint64(a) >> shift) }
+
+// DefaultLine converts a byte address to its line address using the
+// default 64-byte line size.
+func (a Addr) DefaultLine() LineAddr { return a.Line(DefaultLineShift) }
+
+// Offset returns the byte offset within the line for the given shift.
+func (a Addr) Offset(shift uint) uint64 { return uint64(a) & ((1 << shift) - 1) }
+
+// Addr returns the first byte address of the line for the given shift.
+func (l LineAddr) Addr(shift uint) Addr { return Addr(uint64(l) << shift) }
+
+// String renders the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// String renders the line address in hex.
+func (l LineAddr) String() string { return fmt.Sprintf("L0x%x", uint64(l)) }
+
+// Kind distinguishes the two access classes whose criticality the paper
+// contrasts: loads (reads) stall the pipeline on a miss; stores (writes)
+// are normally buffered and off the critical path.
+type Kind uint8
+
+const (
+	// Load is a demand read (critical on miss).
+	Load Kind = iota
+	// Store is a demand write (buffered on miss).
+	Store
+	// numKinds counts the access kinds; kept unexported, used for
+	// validation and array sizing.
+	numKinds
+)
+
+// Valid reports whether k is a defined access kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsRead reports whether the access is a read (Load).
+func (k Kind) IsRead() bool { return k == Load }
+
+// IsWrite reports whether the access is a write (Store).
+func (k Kind) IsWrite() bool { return k == Store }
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Access is one memory reference as observed by the cache hierarchy.
+//
+// PC is the address of the instruction issuing the access; the RRP
+// predictor (internal/rrp) is indexed by it. IC is the dynamic instruction
+// count at which the access occurs; the core timing model uses gaps in IC
+// to charge non-memory work between references.
+type Access struct {
+	PC   Addr
+	Addr Addr
+	IC   uint64
+	Kind Kind
+}
+
+// LineAddr returns the access's cache-line address for the given shift.
+func (a Access) LineAddr(shift uint) LineAddr { return a.Addr.Line(shift) }
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	return fmt.Sprintf("%s %s pc=%s ic=%d", a.Kind, a.Addr, a.PC, a.IC)
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	const shift = DefaultLineShift
+	cases := []Addr{0, 1, 63, 64, 65, 4095, 4096, 1 << 40, (1 << 40) + 17}
+	for _, a := range cases {
+		l := a.Line(shift)
+		base := l.Addr(shift)
+		if base > a {
+			t.Errorf("line base %v exceeds addr %v", base, a)
+		}
+		if uint64(a)-uint64(base) != a.Offset(shift) {
+			t.Errorf("offset mismatch for %v: base=%v off=%d", a, base, a.Offset(shift))
+		}
+		if a.Offset(shift) >= DefaultLineSize {
+			t.Errorf("offset %d out of range for %v", a.Offset(shift), a)
+		}
+	}
+}
+
+func TestDefaultLineMatchesExplicitShift(t *testing.T) {
+	f := func(a uint64) bool {
+		return Addr(a).DefaultLine() == Addr(a).Line(DefaultLineShift)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameLinePropertyQuick(t *testing.T) {
+	// Two addresses within the same 64-byte block always map to the same
+	// line; addresses 64 bytes apart never do.
+	f := func(a uint64, off uint8) bool {
+		base := Addr(a &^ uint64(DefaultLineSize-1))
+		in := base + Addr(off%DefaultLineSize)
+		out := base + DefaultLineSize
+		return in.DefaultLine() == base.DefaultLine() &&
+			out.DefaultLine() != base.DefaultLine()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Load.IsRead() || Load.IsWrite() {
+		t.Error("Load predicates wrong")
+	}
+	if !Store.IsWrite() || Store.IsRead() {
+		t.Error("Store predicates wrong")
+	}
+	if !Load.Valid() || !Store.Valid() {
+		t.Error("defined kinds must be valid")
+	}
+	if Kind(250).Valid() {
+		t.Error("undefined kind must be invalid")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" {
+		t.Errorf("Load.String() = %q", Load.String())
+	}
+	if Store.String() != "store" {
+		t.Errorf("Store.String() = %q", Store.String())
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Errorf("Kind(9).String() = %q", Kind(9).String())
+	}
+}
+
+func TestAccessLineAddr(t *testing.T) {
+	a := Access{PC: 0x400000, Addr: 0x12345, Kind: Load, IC: 7}
+	if a.LineAddr(DefaultLineShift) != Addr(0x12345).DefaultLine() {
+		t.Error("Access.LineAddr disagrees with Addr.DefaultLine")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{PC: 0x10, Addr: 0x40, Kind: Store, IC: 3}
+	got := a.String()
+	want := "store 0x40 pc=0x10 ic=3"
+	if got != want {
+		t.Errorf("Access.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package policy
+
+// Set dueling (Qureshi et al.): a handful of "leader" sets are pinned to
+// each of two competing policies; a saturating selector counter tracks
+// which leader group misses less, and all "follower" sets adopt the
+// winner. DIP, DRRIP and RWP's bypass selector all reuse this helper.
+
+// DuelRole classifies a set for set dueling.
+type DuelRole uint8
+
+const (
+	// Follower sets use whichever policy currently leads.
+	Follower DuelRole = iota
+	// LeaderA sets always use policy A.
+	LeaderA
+	// LeaderB sets always use policy B.
+	LeaderB
+)
+
+// DefaultLeaderSets is the number of leader sets per policy, matching the
+// 32-set convention of the DIP and DRRIP papers.
+const DefaultLeaderSets = 32
+
+// DefaultPSELBits sizes the policy selector counter (10 bits in the
+// papers).
+const DefaultPSELBits = 10
+
+// Duel maps sets to dueling roles and maintains the PSEL counter.
+type Duel struct {
+	numSets int
+	stride  int
+	psel    int
+	pselMax int
+}
+
+// NewDuel builds a dueling monitor over numSets sets with leaders leader
+// sets per policy and a PSEL counter of pselBits bits. PSEL starts at the
+// midpoint. If the cache has too few sets to host 2×leaders, every
+// available pair is used.
+func NewDuel(numSets, leaders, pselBits int) *Duel {
+	if leaders < 1 {
+		leaders = 1
+	}
+	stride := numSets / leaders
+	if stride < 2 {
+		stride = 2
+	}
+	max := (1 << pselBits) - 1
+	return &Duel{numSets: numSets, stride: stride, psel: (max + 1) / 2, pselMax: max}
+}
+
+// Role returns the dueling role of a set. Leader sets for A sit at
+// stride-aligned indices; leaders for B immediately follow them, which
+// spreads both groups over the index space (constituency selection).
+func (d *Duel) Role(set int) DuelRole {
+	switch set % d.stride {
+	case 0:
+		return LeaderA
+	case 1:
+		return LeaderB
+	default:
+		return Follower
+	}
+}
+
+// Miss records a miss in the given set. A miss in an A-leader moves PSEL
+// toward B and vice versa; follower misses are ignored.
+func (d *Duel) Miss(set int) {
+	switch d.Role(set) {
+	case LeaderA:
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case LeaderB:
+		if d.psel > 0 {
+			d.psel--
+		}
+	}
+}
+
+// UseA reports whether followers should currently use policy A: true when
+// the A leaders are missing less (PSEL below the midpoint).
+func (d *Duel) UseA() bool { return d.psel < (d.pselMax+1)/2 }
+
+// PSEL exposes the selector value for reports and tests.
+func (d *Duel) PSEL() int { return d.psel }
+
+// PolicyFor resolves the effective choice for a set: leaders are pinned,
+// followers track PSEL.
+func (d *Duel) PolicyFor(set int) (useA bool) {
+	switch d.Role(set) {
+	case LeaderA:
+		return true
+	case LeaderB:
+		return false
+	default:
+		return d.UseA()
+	}
+}

@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"testing"
+
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+)
+
+func TestPLRUAndFIFORegistered(t *testing.T) {
+	for _, n := range []string{"plru", "fifo"} {
+		p, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Fatalf("Name() = %q", p.Name())
+		}
+	}
+}
+
+func TestPLRUNeverEvictsJustTouched(t *testing.T) {
+	// Core PLRU property: the victim is never the most recently touched
+	// way.
+	p := NewPLRU()
+	c := singleSet(t, 8, p)
+	for line := mem.LineAddr(1); line <= 8; line++ {
+		load(c, line)
+	}
+	for i := 0; i < 1000; i++ {
+		hot := mem.LineAddr(i%8) + 1
+		if _, _, ok := c.Lookup(hot); ok {
+			load(c, hot) // touch
+			set, way, _ := c.Lookup(hot)
+			if v, bypass := p.Victim(set, cache.AccessInfo{}); bypass || v == way {
+				t.Fatalf("PLRU victim %d is the just-touched way %d", v, way)
+			}
+		}
+		load(c, mem.LineAddr(100+i)) // churn
+	}
+}
+
+func TestPLRUApproximatesLRUHitRate(t *testing.T) {
+	run := func(p cache.Policy) uint64 {
+		c := newCache(t, 8192, 8, p)
+		for i := 0; i < 100000; i++ {
+			load(c, mem.LineAddr((i*i+i/3)%100))
+		}
+		return c.Stats().Hits[cache.DemandLoad]
+	}
+	plru := run(NewPLRU())
+	lru := run(NewLRU())
+	// PLRU should land within 10% of true LRU on a fitting mixed pattern.
+	if float64(plru) < 0.9*float64(lru) {
+		t.Fatalf("PLRU hits %d far below LRU %d", plru, lru)
+	}
+}
+
+func TestPLRURejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 12-way PLRU")
+		}
+	}()
+	c, err := cache.New(cache.Config{Name: "x", SizeBytes: 64 * 12, Ways: 12, LineSize: 64}, NewPLRU())
+	_ = c
+	_ = err
+}
+
+func TestFIFOEvictsInFillOrder(t *testing.T) {
+	c := singleSet(t, 4, NewFIFO())
+	for line := mem.LineAddr(1); line <= 4; line++ {
+		load(c, line)
+	}
+	// Hit line 1 heavily; FIFO must still evict it first.
+	for i := 0; i < 10; i++ {
+		load(c, 1)
+	}
+	load(c, 5)
+	if _, _, ok := c.Lookup(1); ok {
+		t.Fatal("FIFO kept the oldest line because of hits")
+	}
+	load(c, 6)
+	if _, _, ok := c.Lookup(2); ok {
+		t.Fatal("FIFO did not evict in fill order")
+	}
+}

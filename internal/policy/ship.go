@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+)
+
+// DefaultSHCTBits sizes the Signature History Counter Table index (14 bits
+// → 16K entries in the SHiP paper).
+const DefaultSHCTBits = 14
+
+// shctCounterMax is the saturation value of the 3-bit SHCT counters.
+const shctCounterMax = 7
+
+// SHiP (Signature-based Hit Predictor, SHiP-PC variant) predicts the
+// re-reference behavior of a fill from the PC that caused it. Lines whose
+// signature historically never re-hits are inserted at long RRPV; others
+// at distant RRPV. An SRRIP backend supplies aging and victim selection.
+//
+// It serves here as a third state-of-the-art baseline and as the
+// structural template for the paper's RRP predictor (internal/rrp), which
+// differs by training on reads only and by bypassing instead of
+// deprioritizing.
+type SHiP struct {
+	rripBase
+	bits     int
+	shctBits int
+	seed     uint64
+
+	shct []uint8
+	// Per-line training state.
+	sig   []uint16 // signature that filled the line
+	reref []bool   // line was re-referenced since fill
+}
+
+// NewSHiP returns a SHiP-PC policy. seed is unused today but keeps the
+// constructor signature uniform with the other stochastic policies.
+func NewSHiP(rrpvBits, shctBits int, seed uint64) *SHiP {
+	return &SHiP{bits: rrpvBits, shctBits: shctBits, seed: seed}
+}
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "ship" }
+
+// Attach implements cache.Policy.
+func (p *SHiP) Attach(r cache.StateReader) {
+	p.attach(r, p.bits)
+	p.shct = make([]uint8, 1<<p.shctBits)
+	for i := range p.shct {
+		p.shct[i] = 1 // weakly "re-referenced" so cold PCs are not bypass-punished
+	}
+	n := r.NumSets() * r.Ways()
+	p.sig = make([]uint16, n)
+	p.reref = make([]bool, n)
+}
+
+// Signature folds a PC into an SHCT index.
+func (p *SHiP) Signature(pc mem.Addr) uint16 {
+	h := uint64(pc) >> 2
+	h ^= h >> p.uintShctBits()
+	h ^= h >> (2 * p.uintShctBits())
+	return uint16(h & uint64(len(p.shct)-1))
+}
+
+func (p *SHiP) uintShctBits() uint { return uint(p.shctBits) }
+
+// OnHit implements cache.Policy.
+func (p *SHiP) OnHit(set, way int, _ cache.AccessInfo) {
+	i := p.idx(set, way)
+	p.rrpv[i] = 0
+	if !p.reref[i] {
+		p.reref[i] = true
+		if c := &p.shct[p.sig[i]]; *c < shctCounterMax {
+			*c++
+		}
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *SHiP) Victim(set int, _ cache.AccessInfo) (int, bool) { return p.victim(set), false }
+
+// OnEvict implements cache.Policy: a line dying without re-reference
+// trains its signature down.
+func (p *SHiP) OnEvict(set, way int, _ cache.AccessInfo) {
+	i := p.idx(set, way)
+	if !p.reref[i] {
+		if c := &p.shct[p.sig[i]]; *c > 0 {
+			*c--
+		}
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *SHiP) OnFill(set, way int, ai cache.AccessInfo) {
+	i := p.idx(set, way)
+	sig := p.Signature(ai.PC)
+	p.sig[i] = sig
+	p.reref[i] = false
+	if p.shct[sig] == 0 {
+		p.rrpv[i] = p.max // predicted dead on arrival
+	} else {
+		p.rrpv[i] = p.distant
+	}
+}

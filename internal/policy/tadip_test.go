@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"testing"
+
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+)
+
+func TestTADIPRegistered(t *testing.T) {
+	p, err := New("tadip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "tadip" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}
+
+func TestTADIPLeaderLayout(t *testing.T) {
+	p := NewTADIP(4, 1)
+	c := newCache(t, 1<<20, 16, p) // 1024 sets
+	_ = c
+	counts := map[[2]interface{}]int{}
+	for s := 0; s < 1024; s++ {
+		if core, lru, ok := p.role(s); ok {
+			counts[[2]interface{}{core, lru}]++
+		}
+	}
+	// Every (core, policy) pair must own leader sets.
+	for core := 0; core < 4; core++ {
+		for _, lru := range []bool{true, false} {
+			if counts[[2]interface{}{core, lru}] == 0 {
+				t.Fatalf("no leader sets for core %d lru=%v", core, lru)
+			}
+		}
+	}
+}
+
+func TestTADIPPerCoreAdaptation(t *testing.T) {
+	// Core 0 runs an LRU-friendly pattern, core 1 thrashes. TADIP must
+	// move only core 1 to bimodal insertion.
+	p := NewTADIP(2, 2)
+	c := newCache(t, 64*1024, 16, p) // 64 sets, 1024-line capacity
+	stream := mem.LineAddr(1 << 20)
+	for i := 0; i < 400000; i++ {
+		c.Access(mem.LineAddr(i%512), mem.Addr(i), cache.DemandLoad, 0) // fits
+		c.Access(stream, mem.Addr(i), cache.DemandLoad, 1)              // thrash
+		stream = 1<<20 + mem.LineAddr(int(stream-1<<20+1)%2048)
+	}
+	if !p.useLRU(0) {
+		t.Errorf("cache-friendly core 0 pushed off LRU (PSEL=%d)", p.PSEL(0))
+	}
+	if p.useLRU(1) {
+		t.Errorf("thrashing core 1 kept on LRU (PSEL=%d)", p.PSEL(1))
+	}
+}
+
+func TestTADIPSingleCoreDegeneratesSafely(t *testing.T) {
+	p := NewTADIP(1, 3)
+	c := newCache(t, 8192, 4, p)
+	for i := 0; i < 50000; i++ {
+		c.Access(mem.LineAddr(i%96), mem.Addr(i), cache.Class(i%3), 0)
+	}
+	st := c.Stats()
+	if st.TotalHits() == 0 {
+		t.Fatal("no hits on fitting pattern")
+	}
+	// Out-of-range cores are clamped, not a crash.
+	c.Access(1, 0, cache.DemandLoad, 99)
+}

@@ -1,0 +1,159 @@
+package recency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreshOrder(t *testing.T) {
+	tab := NewTable(4, 8)
+	if tab.Ways() != 8 || tab.Sets() != 4 {
+		t.Fatalf("geometry wrong: %dx%d", tab.Sets(), tab.Ways())
+	}
+	for s := 0; s < 4; s++ {
+		if tab.MRU(s) != 0 || tab.LRU(s) != 7 {
+			t.Fatalf("set %d fresh order wrong: mru=%d lru=%d", s, tab.MRU(s), tab.LRU(s))
+		}
+		for w := 0; w < 8; w++ {
+			if tab.Dist(s, w) != w {
+				t.Fatalf("fresh dist of way %d = %d", w, tab.Dist(s, w))
+			}
+		}
+	}
+}
+
+func TestTouchPromotes(t *testing.T) {
+	tab := NewTable(1, 4)
+	tab.Touch(0, 2)
+	// Expect order 2,0,1,3
+	want := []int{2, 0, 1, 3}
+	for pos, w := range want {
+		if tab.At(0, pos) != w {
+			t.Fatalf("pos %d = %d, want %d", pos, tab.At(0, pos), w)
+		}
+	}
+	tab.Touch(0, 3)
+	want = []int{3, 2, 0, 1}
+	for pos, w := range want {
+		if tab.At(0, pos) != w {
+			t.Fatalf("after second touch pos %d = %d, want %d", pos, tab.At(0, pos), w)
+		}
+	}
+}
+
+func TestTouchMRUIsNoop(t *testing.T) {
+	tab := NewTable(1, 4)
+	tab.Touch(0, 1)
+	before := []int{tab.At(0, 0), tab.At(0, 1), tab.At(0, 2), tab.At(0, 3)}
+	tab.Touch(0, 1)
+	for pos, w := range before {
+		if tab.At(0, pos) != w {
+			t.Fatal("touching the MRU way changed the order")
+		}
+	}
+}
+
+func TestInsertLRU(t *testing.T) {
+	tab := NewTable(1, 4)
+	tab.InsertLRU(0, 0)
+	want := []int{1, 2, 3, 0}
+	for pos, w := range want {
+		if tab.At(0, pos) != w {
+			t.Fatalf("pos %d = %d, want %d", pos, tab.At(0, pos), w)
+		}
+	}
+	if tab.LRU(0) != 0 {
+		t.Fatal("InsertLRU did not put way at LRU")
+	}
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	// Property: Touch moves the touched way to distance 0, increments by
+	// one the distance of every way previously more recent than it, and
+	// leaves all others unchanged.
+	f := func(ops []uint8) bool {
+		const ways = 8
+		tab := NewTable(1, ways)
+		dist := func() [ways]int {
+			var d [ways]int
+			for w := 0; w < ways; w++ {
+				d[w] = tab.Dist(0, w)
+			}
+			return d
+		}
+		for _, op := range ops {
+			w := int(op) % ways
+			before := dist()
+			tab.Touch(0, w)
+			after := dist()
+			if after[w] != 0 {
+				return false
+			}
+			for v := 0; v < ways; v++ {
+				if v == w {
+					continue
+				}
+				if before[v] < before[w] {
+					if after[v] != before[v]+1 {
+						return false
+					}
+				} else if after[v] != before[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderIsAlwaysPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := NewTable(2, 16)
+	for i := 0; i < 10000; i++ {
+		set := rng.Intn(2)
+		w := rng.Intn(16)
+		if rng.Intn(2) == 0 {
+			tab.Touch(set, w)
+		} else {
+			tab.InsertLRU(set, w)
+		}
+		var seen [16]bool
+		for pos := 0; pos < 16; pos++ {
+			w := tab.At(set, pos)
+			if seen[w] {
+				t.Fatalf("iteration %d: way %d appears twice", i, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestLeastRecent(t *testing.T) {
+	tab := NewTable(1, 4)
+	// Fresh order: 0 MRU ... 3 LRU.
+	got := tab.LeastRecent(0, func(w int) bool { return w%2 == 0 })
+	if got != 2 {
+		t.Fatalf("LRU even way = %d, want 2", got)
+	}
+	got = tab.LeastRecent(0, func(w int) bool { return false })
+	if got != -1 {
+		t.Fatalf("empty predicate returned %d, want -1", got)
+	}
+	got = tab.LeastRecent(0, func(w int) bool { return true })
+	if got != tab.LRU(0) {
+		t.Fatal("LeastRecent(true) != LRU")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(0, 4) did not panic")
+		}
+	}()
+	NewTable(0, 4)
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "bench", "ipc", "mpki")
+	tb.AddRow("mcf", "0.42", "12.3")
+	tb.AddRow("libquantum", "0.31", "30.1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All data lines must have equal length (alignment).
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows unaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "libquantum") || !strings.Contains(out, "30.1") {
+		t.Fatalf("content missing:\n%s", out)
+	}
+}
+
+func TestAddRuleAndNote(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.AddRow("1", "2")
+	tb.AddRule()
+	tb.AddRow("geomean", "1.5")
+	tb.Note = "hello"
+	out := tb.String()
+	if !strings.Contains(out, "note: hello") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	if strings.Count(out, "---") < 2 {
+		t.Fatalf("rule missing:\n%s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("x", "a", "b", "c")
+	tb.AddRow("only")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestOverlongRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New("x", "a").AddRow("1", "2")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", "2") // comma must be quoted
+	tb.AddRule()          // rules skipped in CSV
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.2345, 2) != "1.23" {
+		t.Error("F wrong")
+	}
+	if Pct(1.14) != "+14.0%" {
+		t.Errorf("Pct = %q", Pct(1.14))
+	}
+	if I(42) != "42" || I(uint64(7)) != "7" {
+		t.Error("I wrong")
+	}
+}

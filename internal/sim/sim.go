@@ -1,0 +1,314 @@
+// Package sim drives workloads through the core timing model and the
+// memory hierarchy: single-core runs for the paper's per-benchmark
+// figures and interleaved multi-core runs for the shared-LLC experiments.
+//
+// Runs are deterministic: the same Options produce bit-identical Results.
+package sim
+
+import (
+	"fmt"
+
+	"rwp/internal/cache"
+	"rwp/internal/cpu"
+	"rwp/internal/dram"
+	"rwp/internal/hier"
+	"rwp/internal/mem"
+	"rwp/internal/stats"
+	"rwp/internal/trace"
+	"rwp/internal/workload"
+
+	// Register every evaluated policy in the shared registry.
+	_ "rwp/internal/core"
+	_ "rwp/internal/rrp"
+	_ "rwp/internal/ucp"
+)
+
+// Options configures a run.
+type Options struct {
+	// Hier is the memory-system configuration (its LLCPolicy field names
+	// the mechanism under test).
+	Hier hier.Config
+	// CPU is the core model configuration.
+	CPU cpu.Config
+	// Warmup is the number of memory accesses (per core) to run before
+	// statistics reset.
+	Warmup uint64
+	// Measure is the number of memory accesses (per core) in the
+	// measured region.
+	Measure uint64
+}
+
+// DefaultOptions returns the single-core configuration used by the
+// experiment suite.
+func DefaultOptions() Options {
+	return Options{
+		Hier:    hier.DefaultConfig(),
+		CPU:     cpu.DefaultConfig(),
+		Warmup:  500_000,
+		Measure: 2_000_000,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Hier.Validate(); err != nil {
+		return err
+	}
+	if err := o.CPU.Validate(); err != nil {
+		return err
+	}
+	if o.Measure == 0 {
+		return fmt.Errorf("sim: Measure must be positive")
+	}
+	return nil
+}
+
+// Result summarizes one core's measured region.
+type Result struct {
+	Workload string
+	Policy   string
+
+	Core cpu.Stats
+	L1   cache.Stats
+	L2   cache.Stats
+	LLC  cache.Stats
+	DRAM dram.Stats
+
+	// IPC over the measured region.
+	IPC float64
+	// Instructions in the measured region.
+	Instructions uint64
+	// ReadMPKI is LLC demand-load misses per kilo-instruction.
+	ReadMPKI float64
+	// TotalMPKI is all LLC misses per kilo-instruction.
+	TotalMPKI float64
+	// WBPKI is DRAM writebacks per kilo-instruction.
+	WBPKI float64
+}
+
+// RunSingle executes one workload on a single-core system.
+func RunSingle(prof workload.Profile, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opt.Hier.Cores != 1 {
+		return Result{}, fmt.Errorf("sim: RunSingle needs a 1-core hierarchy, got %d", opt.Hier.Cores)
+	}
+	h, err := hier.New(opt.Hier)
+	if err != nil {
+		return Result{}, err
+	}
+	core, err := cpu.New(opt.CPU)
+	if err != nil {
+		return Result{}, err
+	}
+	src := prof.NewSource()
+
+	var warmEndIC, warmEndCycles uint64
+	var warmCore cpu.Stats
+	var lastIC uint64
+	total := opt.Warmup + opt.Measure
+	for i := uint64(0); i < total; i++ {
+		a, err := src.Next()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: workload %s: %w", prof.Name, err)
+		}
+		step(core, h, 0, a)
+		lastIC = a.IC
+		if i+1 == opt.Warmup {
+			h.ResetStats()
+			snap := core.Stats()
+			warmEndIC, warmEndCycles = snap.Instructions, snap.Cycles
+			warmCore = snap
+		}
+	}
+	final := core.Finish(lastIC + 1)
+	res := Result{
+		Workload: prof.Name,
+		Policy:   opt.Hier.LLCPolicy,
+		L1:       h.L1(0).Stats(),
+		L2:       h.L2(0).Stats(),
+		LLC:      h.LLC().Stats(),
+		DRAM:     h.DRAM().Stats(),
+	}
+	res.Core = cpu.Stats{
+		Instructions: final.Instructions - warmEndIC,
+		Cycles:       final.Cycles - warmEndCycles,
+		Loads:        final.Loads - warmCore.Loads,
+		Stores:       final.Stores - warmCore.Stores,
+		LoadStalls:   final.LoadStalls - warmCore.LoadStalls,
+		StoreStalls:  final.StoreStalls - warmCore.StoreStalls,
+	}
+	res.Instructions = res.Core.Instructions
+	res.IPC = res.Core.IPC()
+	res.ReadMPKI = stats.PerKilo(res.LLC.ReadMisses(), res.Instructions)
+	res.TotalMPKI = stats.PerKilo(res.LLC.TotalMisses(), res.Instructions)
+	res.WBPKI = stats.PerKilo(res.DRAM.Writes, res.Instructions)
+	return res, nil
+}
+
+// step feeds one access through the core and hierarchy in the canonical
+// order: advance issue to the access's IC, query the hierarchy at the
+// issue cycle, then charge the core.
+func step(core *cpu.Core, h *hier.Hierarchy, coreID int, a mem.Access) {
+	core.AdvanceTo(a.IC)
+	now := core.Now()
+	if a.Kind.IsRead() {
+		lat := h.Load(coreID, now, a.Addr, a.PC)
+		core.Load(a.IC, lat)
+	} else {
+		lat := h.Store(coreID, now, a.Addr, a.PC)
+		core.Store(a.IC, lat)
+	}
+}
+
+// MultiResult summarizes a multiprogrammed run.
+type MultiResult struct {
+	Policy string
+	// PerCore holds each core's measured-region result, in mix order.
+	PerCore []Result
+	// IPCs is the per-core IPC vector (convenience copy).
+	IPCs []float64
+}
+
+// Throughput is Σ per-core IPC.
+func (m MultiResult) Throughput() float64 { return stats.Throughput(m.IPCs) }
+
+// RunMulti executes one workload per core on a shared-LLC system. Cores
+// advance in lockstep by simulated time (the core with the smallest local
+// clock issues next), which is how trace-driven CMP studies interleave
+// independent streams. Cores that finish their measured quota keep
+// running — still generating interference — until every core has
+// finished; their extra work is not counted.
+func RunMulti(profs []workload.Profile, opt Options) (MultiResult, error) {
+	n := len(profs)
+	if n == 0 {
+		return MultiResult{}, fmt.Errorf("sim: empty mix")
+	}
+	if opt.Hier.Cores != n {
+		return MultiResult{}, fmt.Errorf("sim: hierarchy has %d cores for a %d-workload mix", opt.Hier.Cores, n)
+	}
+	if err := opt.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	h, err := hier.New(opt.Hier)
+	if err != nil {
+		return MultiResult{}, err
+	}
+
+	type coreState struct {
+		core       *cpu.Core
+		src        *workload.Source
+		done       uint64 // accesses completed
+		lastIC     uint64
+		warmIC     uint64
+		warmCyc    uint64
+		warmSnap   cpu.Stats
+		l1Snap     cache.Stats
+		l2Snap     cache.Stats
+		llcRMWarm  uint64 // per-core LLC read misses at warmup end
+		llcRMFinal uint64 // captured when the core's counted region ends
+	}
+	states := make([]*coreState, n)
+	for i, p := range profs {
+		c, err := cpu.New(opt.CPU)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		states[i] = &coreState{core: c, src: p.NewSource()}
+	}
+	total := opt.Warmup + opt.Measure
+	llcWarm := cache.Stats{}
+	warmDone := 0
+
+	finished := 0
+	for finished < n {
+		// Pick the least-advanced core still under quota; finished cores
+		// continue only while any counted core lags them (interference).
+		best := -1
+		var bestCycle uint64
+		for i, st := range states {
+			if st.done >= total {
+				continue
+			}
+			if best == -1 || st.core.Now() < bestCycle {
+				best, bestCycle = i, st.core.Now()
+			}
+		}
+		if best == -1 {
+			break
+		}
+		st := states[best]
+		a, err := st.src.Next()
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("sim: workload %s: %w", profs[best].Name, err)
+		}
+		step(st.core, h, best, a)
+		st.lastIC = a.IC
+		st.done++
+		if st.done == opt.Warmup {
+			snap := st.core.Stats()
+			st.warmIC, st.warmCyc = snap.Instructions, snap.Cycles
+			st.warmSnap = snap
+			st.l1Snap = h.L1(best).Stats()
+			st.l2Snap = h.L2(best).Stats()
+			st.llcRMWarm = h.LLCReadMisses(best)
+			warmDone++
+			if warmDone == n {
+				llcWarm = h.LLC().Stats()
+				h.DRAM().ResetStats()
+			}
+		}
+		if st.done == total {
+			st.llcRMFinal = h.LLCReadMisses(best)
+			finished++
+		}
+	}
+
+	res := MultiResult{Policy: opt.Hier.LLCPolicy}
+	llcEnd := h.LLC().Stats()
+	llcMeasured := subStats(llcEnd, llcWarm)
+	for i, st := range states {
+		final := st.core.Finish(st.lastIC + 1)
+		r := Result{
+			Workload: profs[i].Name,
+			Policy:   opt.Hier.LLCPolicy,
+			L1:       subStats(h.L1(i).Stats(), st.l1Snap),
+			L2:       subStats(h.L2(i).Stats(), st.l2Snap),
+			LLC:      llcMeasured,
+			DRAM:     h.DRAM().Stats(),
+		}
+		r.Core = cpu.Stats{
+			Instructions: final.Instructions - st.warmIC,
+			Cycles:       final.Cycles - st.warmCyc,
+			Loads:        final.Loads - st.warmSnap.Loads,
+			Stores:       final.Stores - st.warmSnap.Stores,
+			LoadStalls:   final.LoadStalls - st.warmSnap.LoadStalls,
+			StoreStalls:  final.StoreStalls - st.warmSnap.StoreStalls,
+		}
+		r.Instructions = r.Core.Instructions
+		r.IPC = r.Core.IPC()
+		r.ReadMPKI = stats.PerKilo(st.llcRMFinal-st.llcRMWarm, r.Instructions)
+		res.PerCore = append(res.PerCore, r)
+		res.IPCs = append(res.IPCs, r.IPC)
+	}
+	return res, nil
+}
+
+// subStats returns a-b fieldwise (measured-region deltas).
+func subStats(a, b cache.Stats) cache.Stats {
+	var out cache.Stats
+	for i := 0; i < 3; i++ {
+		out.Accesses[i] = a.Accesses[i] - b.Accesses[i]
+		out.Hits[i] = a.Hits[i] - b.Hits[i]
+		out.Misses[i] = a.Misses[i] - b.Misses[i]
+	}
+	out.Fills = a.Fills - b.Fills
+	out.Bypasses = a.Bypasses - b.Bypasses
+	out.Evictions = a.Evictions - b.Evictions
+	out.DirtyEvict = a.DirtyEvict - b.DirtyEvict
+	return out
+}
+
+// Ensure trace is linked (Source contract documentation references it).
+var _ trace.Source = (*workload.Source)(nil)

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"rwp/internal/trace"
+	"rwp/internal/workload"
+)
+
+func TestRunSourceMatchesRunSingle(t *testing.T) {
+	// Feeding the generator's own stream through RunSource must produce
+	// exactly the same result as RunSingle.
+	prof, err := workload.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions("rwp")
+	direct, err := RunSingle(prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSource, err := RunSource("gcc", prof.NewSource(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.IPC != viaSource.IPC || direct.LLC != viaSource.LLC {
+		t.Fatalf("RunSource diverged from RunSingle: IPC %v vs %v", direct.IPC, viaSource.IPC)
+	}
+}
+
+func TestRunSourceShortTraceFails(t *testing.T) {
+	prof, _ := workload.Get("gcc")
+	opt := fastOptions("lru")
+	short := trace.NewLimit(prof.NewSource(), opt.Warmup/2)
+	if _, err := RunSource("short", short, opt); err == nil {
+		t.Fatal("trace shorter than warmup accepted")
+	}
+}
+
+func TestRunSourceTruncatedMeasureIsOK(t *testing.T) {
+	prof, _ := workload.Get("gcc")
+	opt := fastOptions("lru")
+	// Trace covers warmup plus half the measure window: allowed.
+	src := trace.NewLimit(prof.NewSource(), opt.Warmup+opt.Measure/2)
+	res, err := RunSource("truncated", src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Instructions == 0 {
+		t.Fatalf("bad truncated result: %+v", res)
+	}
+}
+
+func TestRunSourceRejectsMulticoreConfig(t *testing.T) {
+	prof, _ := workload.Get("gcc")
+	opt := fastOptions("lru")
+	opt.Hier.Cores = 2
+	if _, err := RunSource("x", prof.NewSource(), opt); err == nil {
+		t.Fatal("multicore hierarchy accepted")
+	}
+}

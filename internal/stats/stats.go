@@ -1,0 +1,119 @@
+// Package stats provides the summary metrics used throughout the
+// evaluation: means (arithmetic, geometric, harmonic), speedups, MPKI,
+// and the multiprogrammed metrics (throughput, weighted speedup,
+// harmonic-mean fairness) from the paper's 4-core experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeoMean returns the geometric mean of xs. It panics on non-positive
+// inputs (speedups and IPCs are positive by construction) and returns 0
+// for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// AMean returns the arithmetic mean (0 for empty input).
+func AMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HMean returns the harmonic mean. It panics on non-positive inputs and
+// returns 0 for an empty slice.
+func HMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: HMean of non-positive value %v", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Speedup returns the relative performance of `ipc` over `base` (1.0 =
+// equal). It panics if base is non-positive.
+func Speedup(ipc, base float64) float64 {
+	if base <= 0 {
+		panic(fmt.Sprintf("stats: Speedup with non-positive base %v", base))
+	}
+	return ipc / base
+}
+
+// PerKilo normalizes events to per-thousand-instructions (e.g. MPKI).
+func PerKilo(events, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(events) / float64(instructions)
+}
+
+// Throughput is the sum of per-core IPCs (the paper's "system
+// throughput" for the +6 % 4-core headline).
+func Throughput(ipcs []float64) float64 {
+	sum := 0.0
+	for _, x := range ipcs {
+		sum += x
+	}
+	return sum
+}
+
+// WeightedSpeedup is Σ IPC_shared[i] / IPC_alone[i].
+func WeightedSpeedup(shared, alone []float64) float64 {
+	if len(shared) != len(alone) {
+		panic("stats: WeightedSpeedup length mismatch")
+	}
+	sum := 0.0
+	for i := range shared {
+		if alone[i] <= 0 {
+			panic(fmt.Sprintf("stats: alone IPC %v must be positive", alone[i]))
+		}
+		sum += shared[i] / alone[i]
+	}
+	return sum
+}
+
+// HarmonicSpeedup is the harmonic mean of per-core relative slowdowns —
+// the fairness-oriented multiprogram metric.
+func HarmonicSpeedup(shared, alone []float64) float64 {
+	if len(shared) != len(alone) {
+		panic("stats: HarmonicSpeedup length mismatch")
+	}
+	rel := make([]float64, len(shared))
+	for i := range shared {
+		if alone[i] <= 0 || shared[i] <= 0 {
+			panic("stats: HarmonicSpeedup requires positive IPCs")
+		}
+		rel[i] = shared[i] / alone[i]
+	}
+	return HMean(rel)
+}
+
+// Percent renders a ratio as a signed percent delta over 1.0:
+// Percent(1.05) = "+5.0%".
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rwp/internal/mem"
+)
+
+// Binary trace format
+//
+//	magic   [4]byte  "RWPT"
+//	version uvarint  (currently 1)
+//	records:
+//	  flags  byte    bit0: kind (0 load, 1 store)
+//	                 bit1: PC unchanged from previous record
+//	  icGap  uvarint IC delta from previous record (first record: absolute)
+//	  pc     uvarint zig-zag delta from previous PC (omitted if bit1 set)
+//	  addr   uvarint zig-zag delta from previous Addr
+//
+// Deltas make typical generated traces 3-6 bytes/record instead of 25.
+
+var magic = [4]byte{'R', 'W', 'P', 'T'}
+
+const codecVersion = 1
+
+const (
+	flagStore    = 1 << 0
+	flagSamePC   = 1 << 1
+	flagsDefined = flagStore | flagSamePC
+)
+
+// Writer encodes accesses to an io.Writer in the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	wrote  bool
+	prevPC mem.Addr
+	prevA  mem.Addr
+	prevIC uint64
+	n      uint64
+	buf    [3 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer that writes the trace header immediately on
+// the first Write call.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (tw *Writer) header() error {
+	if _, err := tw.w.Write(magic[:]); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(tw.buf[:], codecVersion)
+	_, err := tw.w.Write(tw.buf[:n])
+	return err
+}
+
+// Write appends one access to the trace.
+func (tw *Writer) Write(a mem.Access) error {
+	if !a.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", a.Kind)
+	}
+	if !tw.wrote {
+		if err := tw.header(); err != nil {
+			return err
+		}
+	}
+	var flags byte
+	if a.Kind.IsWrite() {
+		flags |= flagStore
+	}
+	samePC := tw.wrote && a.PC == tw.prevPC
+	if samePC {
+		flags |= flagSamePC
+	}
+	if err := tw.w.WriteByte(flags); err != nil {
+		return err
+	}
+	icGap := a.IC
+	if tw.wrote {
+		if a.IC < tw.prevIC {
+			return fmt.Errorf("trace: IC regressed from %d to %d", tw.prevIC, a.IC)
+		}
+		icGap = a.IC - tw.prevIC
+	}
+	n := binary.PutUvarint(tw.buf[:], icGap)
+	if !samePC {
+		n += binary.PutVarint(tw.buf[n:], int64(a.PC)-int64(tw.prevPC))
+	}
+	n += binary.PutVarint(tw.buf[n:], int64(a.Addr)-int64(tw.prevA))
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return err
+	}
+	tw.prevPC, tw.prevA, tw.prevIC, tw.wrote = a.PC, a.Addr, a.IC, true
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush writes any buffered data to the underlying writer. An empty trace
+// still gets a valid header.
+func (tw *Writer) Flush() error {
+	if !tw.wrote {
+		if err := tw.header(); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a binary trace. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	inited bool
+	first  bool
+	prevPC mem.Addr
+	prevA  mem.Addr
+	prevIC uint64
+}
+
+// NewReader returns a Source reading the binary trace format from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), first: true}
+}
+
+func (tr *Reader) init() error {
+	var m [4]byte
+	if _, err := io.ReadFull(tr.r, m[:]); err != nil {
+		return fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	v, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return fmt.Errorf("trace: reading version: %w", err)
+	}
+	if v != codecVersion {
+		return fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr.inited = true
+	return nil
+}
+
+// Next implements Source.
+func (tr *Reader) Next() (mem.Access, error) {
+	if !tr.inited {
+		if err := tr.init(); err != nil {
+			return mem.Access{}, err
+		}
+	}
+	flags, err := tr.r.ReadByte()
+	if err == io.EOF {
+		return mem.Access{}, ErrEnd
+	}
+	if err != nil {
+		return mem.Access{}, err
+	}
+	if flags&^byte(flagsDefined) != 0 {
+		return mem.Access{}, fmt.Errorf("trace: undefined flag bits 0x%x", flags)
+	}
+	icGap, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return mem.Access{}, fmt.Errorf("trace: reading IC: %w", err)
+	}
+	pc := tr.prevPC
+	if flags&flagSamePC == 0 {
+		d, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			return mem.Access{}, fmt.Errorf("trace: reading PC: %w", err)
+		}
+		pc = mem.Addr(int64(tr.prevPC) + d)
+	}
+	da, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return mem.Access{}, fmt.Errorf("trace: reading addr: %w", err)
+	}
+	addr := mem.Addr(int64(tr.prevA) + da)
+	ic := tr.prevIC + icGap
+	if tr.first {
+		ic = icGap
+		tr.first = false
+	}
+	a := mem.Access{PC: pc, Addr: addr, IC: ic, Kind: mem.Load}
+	if flags&flagStore != 0 {
+		a.Kind = mem.Store
+	}
+	tr.prevPC, tr.prevA, tr.prevIC = pc, addr, ic
+	return a, nil
+}
+
+// WriteAll drains src into w, returning the number of records written.
+func WriteAll(w io.Writer, src Source) (uint64, error) {
+	tw := NewWriter(w)
+	for {
+		a, err := src.Next()
+		if err == ErrEnd {
+			return tw.Count(), tw.Flush()
+		}
+		if err != nil {
+			return tw.Count(), err
+		}
+		if err := tw.Write(a); err != nil {
+			return tw.Count(), err
+		}
+	}
+}

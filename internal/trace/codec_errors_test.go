@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"rwp/internal/mem"
+)
+
+// truncations of a valid trace must decode cleanly up to the cut and then
+// fail (or end) — never panic or fabricate records.
+func TestCodecTruncatedInput(t *testing.T) {
+	recs := sampleTrace(100, 9)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		n := 0
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+			n++
+			if n > len(recs) {
+				t.Fatalf("cut %d: decoded more records than written", cut)
+			}
+		}
+	}
+}
+
+func TestCodecBadVersion(t *testing.T) {
+	raw := append([]byte("RWPT"), 0x7f) // version 127
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+}
+
+func TestCodecUndefinedFlagBits(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice([]mem.Access{{Addr: 1, Kind: mem.Load}})); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The flags byte of the first record follows "RWPT" + version varint.
+	raw[5] |= 0x80
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Fatal("undefined flag bits accepted")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	tw := NewWriter(&bytes.Buffer{})
+	if tw.Count() != 0 {
+		t.Fatal("fresh writer count != 0")
+	}
+	if err := tw.Write(mem.Access{Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(mem.Access{Addr: 2, IC: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != 2 {
+		t.Fatalf("count = %d", tw.Count())
+	}
+}
+
+func TestSliceLen(t *testing.T) {
+	if NewSlice(sampleTrace(5, 1)).Len() != 5 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Accesses: 3, Loads: 2, Stores: 1, Lines: 2, Instructions: 9}
+	got := st.String()
+	want := "accesses=3 loads=2 stores=1 lines=2 insts=9"
+	if got != want {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestWriteAllPropagatesSourceError(t *testing.T) {
+	// A source returning a non-ErrEnd error must abort the write.
+	if _, err := WriteAll(&bytes.Buffer{}, badSource{}); err == nil {
+		t.Fatal("source error swallowed")
+	}
+}
+
+type badSource struct{}
+
+func (badSource) Next() (mem.Access, error) { return mem.Access{}, errBad }
+
+var errBad = &traceErr{"synthetic"}
+
+type traceErr struct{ s string }
+
+func (e *traceErr) Error() string { return e.s }

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"rwp/internal/mem"
+	"rwp/internal/xrand"
+)
+
+// lineBytes converts a line index within a region to a byte address with
+// a small random-ish intra-line offset left at zero (offsets are
+// irrelevant to line-granular caches).
+func lineAddr(base mem.Addr, line int) mem.Addr {
+	return base + mem.Addr(line)*mem.DefaultLineSize
+}
+
+// pcAt returns the i-th PC of a component's pool.
+func pcAt(pcBase mem.Addr, i int) mem.Addr {
+	return pcBase + mem.Addr(i%pcPoolSize)*4
+}
+
+// streamComp scans its region sequentially with a stride, wrapping; each
+// access is a read with probability readRatio.
+type streamComp struct {
+	base      mem.Addr
+	lines     int
+	stride    int
+	pos       int
+	readRatio float64
+	rng       *xrand.RNG
+	pcBase    mem.Addr
+}
+
+func (c *streamComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	addr := lineAddr(c.base, c.pos)
+	c.pos = (c.pos + c.stride) % c.lines
+	kind := mem.Store
+	pc := pcAt(c.pcBase, 1)
+	if c.rng.Chance(c.readRatio) {
+		kind = mem.Load
+		pc = pcAt(c.pcBase, 0)
+	}
+	return addr, kind, pc
+}
+
+// chaseComp follows a fixed random permutation cycle: a dependent-load
+// pointer chase touching every line of the footprint once per lap.
+type chaseComp struct {
+	base   mem.Addr
+	next_  []uint32
+	cur    uint32
+	pcBase mem.Addr
+}
+
+func newChaseComp(rng *xrand.RNG, base mem.Addr, lines int, pcBase mem.Addr) *chaseComp {
+	// Build a single cycle over [0, lines) via Sattolo's algorithm.
+	perm := make([]uint32, lines)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	for i := lines - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// next_[perm[i]] = perm[i+1] forms the cycle.
+	next := make([]uint32, lines)
+	for i := 0; i < lines; i++ {
+		next[perm[i]] = perm[(i+1)%lines]
+	}
+	return &chaseComp{base: base, next_: next, pcBase: pcBase}
+}
+
+func (c *chaseComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	addr := lineAddr(c.base, int(c.cur))
+	c.cur = c.next_[c.cur]
+	return addr, mem.Load, pcAt(c.pcBase, 0)
+}
+
+// zipfComp draws lines from a Zipf popularity distribution: a hot head
+// with a long cold tail, reads with probability readRatio.
+type zipfComp struct {
+	base      mem.Addr
+	z         *xrand.Zipf
+	readRatio float64
+	rng       *xrand.RNG
+	pcBase    mem.Addr
+}
+
+func (c *zipfComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	// Scatter ranks over the region so popularity is not spatially
+	// correlated with set index (rank*2654435761 mod region hashes, but a
+	// simple odd multiplier keeps it bijective over the footprint).
+	rank := c.z.Next()
+	addr := lineAddr(c.base, rank)
+	kind := mem.Store
+	pc := pcAt(c.pcBase, 1)
+	if c.rng.Chance(c.readRatio) {
+		kind = mem.Load
+		pc = pcAt(c.pcBase, 0)
+	}
+	return addr, kind, pc
+}
+
+// writeOnceComp writes a fresh line every access and never returns to it:
+// output buffers, logs, streamed results. Its footprint parameter bounds
+// the region; the write cursor wraps after Lines distinct lines, which is
+// effectively "never" for realistically large regions, and even when it
+// wraps the reuse distance is far beyond any cache.
+type writeOnceComp struct {
+	base   mem.Addr
+	lines  int
+	pos    int
+	rng    *xrand.RNG
+	pcBase mem.Addr
+}
+
+func (c *writeOnceComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	addr := lineAddr(c.base, c.pos)
+	c.pos = (c.pos + 1) % c.lines
+	return addr, mem.Store, pcAt(c.pcBase, c.rng.Intn(pcPoolSize))
+}
+
+// prodConsComp writes a block of lines, then reads blocks produced
+// earlier (lag one ring slot) readPasses times: freshly written (dirty)
+// lines that serve future reads — the workload class whose read hits live
+// in RWP's dirty partition.
+type prodConsComp struct {
+	base       mem.Addr
+	ringBlocks int
+	blockLines int
+	readPasses int
+	lag        int
+	pcBase     mem.Addr
+
+	block   int // current ring slot being produced
+	phase   int // 0 = producing, 1 = consuming
+	pos     int // line within block
+	pass    int // consume pass
+	consume int // ring slot being consumed
+}
+
+func newProdConsComp(base mem.Addr, lines, blockLines, readPasses, lag int, pcBase mem.Addr) *prodConsComp {
+	ring := lines / blockLines
+	if ring < 2 {
+		ring = 2
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	if lag >= ring {
+		lag = ring - 1
+	}
+	return &prodConsComp{
+		base: base, ringBlocks: ring, blockLines: blockLines,
+		readPasses: readPasses, lag: lag, pcBase: pcBase,
+	}
+}
+
+func (c *prodConsComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	if c.phase == 0 {
+		addr := lineAddr(c.base, c.block*c.blockLines+c.pos)
+		c.pos++
+		if c.pos >= c.blockLines {
+			c.pos = 0
+			c.phase = 1
+			c.pass = 0
+			// Consume the block produced lag slots ago (dirty lines whose
+			// reuse distance is the lag footprint).
+			c.consume = (c.block - c.lag + c.ringBlocks) % c.ringBlocks
+			c.block = (c.block + 1) % c.ringBlocks
+		}
+		return addr, mem.Store, pcAt(c.pcBase, 1)
+	}
+	addr := lineAddr(c.base, c.consume*c.blockLines+c.pos)
+	c.pos++
+	if c.pos >= c.blockLines {
+		c.pos = 0
+		c.pass++
+		if c.pass >= c.readPasses {
+			c.phase = 0
+		}
+	}
+	return addr, mem.Load, pcAt(c.pcBase, 0)
+}
+
+// stackComp models call-stack traffic: a drifting stack pointer where
+// pushes write and pops read the just-written lines — small footprint,
+// high locality, dirty lines immediately re-read.
+type stackComp struct {
+	base   mem.Addr
+	depth  int
+	sp     int
+	rng    *xrand.RNG
+	pcBase mem.Addr
+}
+
+func (c *stackComp) next() (mem.Addr, mem.Kind, mem.Addr) {
+	push := c.rng.Chance(0.5)
+	if c.sp <= 0 {
+		push = true
+	}
+	if c.sp >= c.depth-1 {
+		push = false
+	}
+	if push {
+		c.sp++
+		return lineAddr(c.base, c.sp), mem.Store, pcAt(c.pcBase, 1)
+	}
+	addr := lineAddr(c.base, c.sp)
+	c.sp--
+	return addr, mem.Load, pcAt(c.pcBase, 0)
+}

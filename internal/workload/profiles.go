@@ -1,0 +1,241 @@
+package workload
+
+// SPEC-CPU2006-inspired profiles. Footprints are stated in 64 B cache
+// lines and sized relative to the default single-core LLC of the
+// experiments (2 MiB = 32768 lines; L2 = 4096 lines; L1D = 512 lines):
+//
+//   - "fits" profiles stay well inside the LLC (cache-insensitive),
+//   - "sensitive" profiles hold read working sets around 1–2× LLC
+//     capacity, often competing with write-once output traffic (RWP's
+//     target scenario) or with producer-consumer lag rings whose dirty
+//     lines serve LLC reads,
+//   - "streaming" profiles sweep footprints far beyond any cache
+//     (insensitive: no policy can help).
+//
+// Seeds are fixed per profile so every run of the suite is bit-identical.
+
+func init() {
+	// ---- Cache-sensitive profiles (the paper's 14 %-speedup subset) ----
+
+	register(Profile{
+		Name: "mcf", Seed: 101, MemIntensity: 0.22, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.12, Behavior: PointerChase, Lines: 6000},
+			{Weight: 0.58, Behavior: Zipf, Lines: 26000, ReadRatio: 0.92, ZipfS: 0.7},
+			{Weight: 0.30, Behavior: WriteOnce, Lines: 4_000_000},
+		},
+	})
+	register(Profile{
+		Name: "omnetpp", Seed: 102, MemIntensity: 0.30, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.45, Behavior: Zipf, Lines: 22000, ReadRatio: 0.8, ZipfS: 0.7},
+			{Weight: 0.30, Behavior: WriteOnce, Lines: 3_000_000},
+			{Weight: 0.25, Behavior: ProducerConsumer, Lines: 12288, BlockLines: 256, LagBlocks: 20, ReadPasses: 1},
+		},
+	})
+	register(Profile{
+		Name: "xalancbmk", Seed: 103, MemIntensity: 0.19, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.10, Behavior: PointerChase, Lines: 5000},
+			{Weight: 0.60, Behavior: Zipf, Lines: 28000, ReadRatio: 0.88, ZipfS: 0.65},
+			{Weight: 0.30, Behavior: WriteOnce, Lines: 2_000_000},
+		},
+	})
+	register(Profile{
+		Name: "soplex", Seed: 104, MemIntensity: 0.24, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.45, Behavior: Stream, Lines: 26000, ReadRatio: 0.85},
+			{Weight: 0.25, Behavior: Zipf, Lines: 4000, ReadRatio: 0.9, ZipfS: 0.85},
+			{Weight: 0.30, Behavior: WriteOnce, Lines: 2_500_000},
+		},
+	})
+	register(Profile{
+		Name: "sphinx3", Seed: 105, MemIntensity: 0.21, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.55, Behavior: Zipf, Lines: 24000, ReadRatio: 0.98, ZipfS: 0.75},
+			{Weight: 0.09, Behavior: WriteOnce, Lines: 1_500_000},
+			{Weight: 0.36, Behavior: Stream, Lines: 6000, ReadRatio: 1.0},
+		},
+	})
+	register(Profile{
+		Name: "astar", Seed: 106, MemIntensity: 0.25, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.15, Behavior: PointerChase, Lines: 20000},
+			{Weight: 0.35, Behavior: Zipf, Lines: 24000, ReadRatio: 0.97, ZipfS: 0.6},
+			{Weight: 0.25, Behavior: Zipf, Lines: 8000, ReadRatio: 0.97, ZipfS: 0.9},
+			{Weight: 0.25, Behavior: WriteOnce, Lines: 1_200_000},
+		},
+	})
+	register(Profile{
+		Name: "bzip2", Seed: 107, MemIntensity: 0.26, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.45, Behavior: Zipf, Lines: 18000, ReadRatio: 0.72, ZipfS: 0.8},
+			{Weight: 0.35, Behavior: ProducerConsumer, Lines: 16384, BlockLines: 512, LagBlocks: 12, ReadPasses: 1},
+			{Weight: 0.20, Behavior: WriteOnce, Lines: 1_000_000},
+		},
+	})
+	register(Profile{
+		Name: "gcc", Seed: 108, MemIntensity: 0.24, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.40, Behavior: Zipf, Lines: 24000, ReadRatio: 0.82, ZipfS: 0.75},
+			{Weight: 0.20, Behavior: Stack, Lines: 256},
+			{Weight: 0.40, Behavior: WriteOnce, Lines: 2_200_000},
+		},
+	})
+	register(Profile{
+		Name: "dealII", Seed: 109, MemIntensity: 0.20, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.45, Behavior: Zipf, Lines: 24000, ReadRatio: 0.97, ZipfS: 0.7},
+			{Weight: 0.35, Behavior: Stream, Lines: 8000, ReadRatio: 0.97},
+			{Weight: 0.20, Behavior: WriteOnce, Lines: 1_400_000},
+		},
+	})
+	register(Profile{
+		Name: "GemsFDTD", Seed: 110, MemIntensity: 0.33, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.45, Behavior: Stream, Lines: 20000, ReadRatio: 0.78},
+			{Weight: 0.35, Behavior: ProducerConsumer, Lines: 20480, BlockLines: 512, LagBlocks: 16, ReadPasses: 1},
+			{Weight: 0.20, Behavior: WriteOnce, Lines: 1_800_000},
+		},
+	})
+	register(Profile{
+		Name: "cactusADM", Seed: 111, MemIntensity: 0.29, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.55, Behavior: ProducerConsumer, Lines: 18432, BlockLines: 256, LagBlocks: 30, ReadPasses: 2},
+			{Weight: 0.25, Behavior: Zipf, Lines: 9000, ReadRatio: 0.85, ZipfS: 0.9},
+			{Weight: 0.20, Behavior: WriteOnce, Lines: 1_600_000},
+		},
+	})
+	register(Profile{
+		Name: "zeusmp", Seed: 112, MemIntensity: 0.31, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.40, Behavior: Stream, Lines: 20000, ReadRatio: 0.72},
+			{Weight: 0.35, Behavior: ProducerConsumer, Lines: 14336, BlockLines: 512, LagBlocks: 10, ReadPasses: 1},
+			{Weight: 0.25, Behavior: WriteOnce, Lines: 2_000_000},
+		},
+	})
+	register(Profile{
+		Name: "leslie3d", Seed: 113, MemIntensity: 0.30, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.65, Behavior: Stream, Lines: 26000, ReadRatio: 0.76},
+			{Weight: 0.35, Behavior: WriteOnce, Lines: 2_400_000},
+		},
+	})
+	register(Profile{
+		Name: "wrf", Seed: 114, MemIntensity: 0.17, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.40, Behavior: Zipf, Lines: 30000, ReadRatio: 1.0, ZipfS: 0.55},
+			{Weight: 0.40, Behavior: Zipf, Lines: 7000, ReadRatio: 1.0, ZipfS: 0.9},
+			{Weight: 0.20, Behavior: WriteOnce, Lines: 900_000},
+		},
+	})
+
+	// ---- Fits-in-cache profiles (insensitive: high hit rates) ----
+
+	register(Profile{
+		Name: "perlbench", Seed: 201, MemIntensity: 0.20, CacheSensitive: true,
+		Components: []ComponentSpec{
+			{Weight: 0.55, Behavior: Zipf, Lines: 12000, ReadRatio: 0.8, ZipfS: 1.0},
+			{Weight: 0.30, Behavior: Stack, Lines: 512},
+			{Weight: 0.15, Behavior: WriteOnce, Lines: 600_000},
+		},
+	})
+	register(Profile{
+		Name: "gobmk", Seed: 202, MemIntensity: 0.16,
+		Components: []ComponentSpec{
+			{Weight: 0.70, Behavior: Zipf, Lines: 8000, ReadRatio: 0.85, ZipfS: 1.0},
+			{Weight: 0.30, Behavior: Stack, Lines: 1024},
+		},
+	})
+	register(Profile{
+		Name: "sjeng", Seed: 203, MemIntensity: 0.14,
+		Components: []ComponentSpec{
+			{Weight: 0.80, Behavior: Zipf, Lines: 6000, ReadRatio: 0.9, ZipfS: 1.1},
+			{Weight: 0.20, Behavior: Stack, Lines: 384},
+		},
+	})
+	register(Profile{
+		Name: "h264ref", Seed: 204, MemIntensity: 0.18,
+		Components: []ComponentSpec{
+			{Weight: 0.60, Behavior: Stream, Lines: 4000, ReadRatio: 0.7},
+			{Weight: 0.40, Behavior: Zipf, Lines: 4000, ReadRatio: 0.8, ZipfS: 0.9},
+		},
+	})
+	register(Profile{
+		Name: "hmmer", Seed: 205, MemIntensity: 0.12,
+		Components: []ComponentSpec{
+			{Weight: 0.90, Behavior: Stream, Lines: 2000, ReadRatio: 0.88},
+			{Weight: 0.10, Behavior: Stack, Lines: 128},
+		},
+	})
+	register(Profile{
+		Name: "gromacs", Seed: 206, MemIntensity: 0.10,
+		Components: []ComponentSpec{
+			{Weight: 0.80, Behavior: Zipf, Lines: 2500, ReadRatio: 0.82, ZipfS: 1.0},
+			{Weight: 0.20, Behavior: Stream, Lines: 1200, ReadRatio: 0.75},
+		},
+	})
+	register(Profile{
+		Name: "namd", Seed: 207, MemIntensity: 0.08,
+		Components: []ComponentSpec{
+			{Weight: 1.0, Behavior: Zipf, Lines: 1500, ReadRatio: 0.9, ZipfS: 1.0},
+		},
+	})
+	register(Profile{
+		Name: "povray", Seed: 208, MemIntensity: 0.06,
+		Components: []ComponentSpec{
+			{Weight: 0.85, Behavior: Zipf, Lines: 800, ReadRatio: 0.85, ZipfS: 1.1},
+			{Weight: 0.15, Behavior: Stack, Lines: 256},
+		},
+	})
+	register(Profile{
+		Name: "gamess", Seed: 209, MemIntensity: 0.07,
+		Components: []ComponentSpec{
+			{Weight: 1.0, Behavior: Zipf, Lines: 1000, ReadRatio: 0.9, ZipfS: 1.0},
+		},
+	})
+	register(Profile{
+		Name: "tonto", Seed: 211, MemIntensity: 0.08,
+		Components: []ComponentSpec{
+			{Weight: 0.70, Behavior: Zipf, Lines: 2000, ReadRatio: 0.88, ZipfS: 1.0},
+			{Weight: 0.30, Behavior: Stack, Lines: 192},
+		},
+	})
+	register(Profile{
+		Name: "calculix", Seed: 210, MemIntensity: 0.09,
+		Components: []ComponentSpec{
+			{Weight: 0.75, Behavior: Stream, Lines: 3000, ReadRatio: 0.85},
+			{Weight: 0.25, Behavior: Zipf, Lines: 1500, ReadRatio: 0.85, ZipfS: 1.0},
+		},
+	})
+
+	// ---- Streaming profiles (insensitive: footprints ≫ any cache) ----
+
+	register(Profile{
+		Name: "libquantum", Seed: 301, MemIntensity: 0.38,
+		Components: []ComponentSpec{
+			{Weight: 1.0, Behavior: Stream, Lines: 2_000_000, ReadRatio: 0.75},
+		},
+	})
+	register(Profile{
+		Name: "lbm", Seed: 302, MemIntensity: 0.40,
+		Components: []ComponentSpec{
+			{Weight: 0.55, Behavior: Stream, Lines: 1_500_000, ReadRatio: 0.5},
+			{Weight: 0.45, Behavior: WriteOnce, Lines: 5_000_000},
+		},
+	})
+	register(Profile{
+		Name: "milc", Seed: 303, MemIntensity: 0.34,
+		Components: []ComponentSpec{
+			{Weight: 0.70, Behavior: Stream, Lines: 800_000, ReadRatio: 0.7},
+			{Weight: 0.30, Behavior: WriteOnce, Lines: 3_000_000},
+		},
+	})
+	register(Profile{
+		Name: "bwaves", Seed: 304, MemIntensity: 0.36,
+		Components: []ComponentSpec{
+			{Weight: 0.80, Behavior: Stream, Lines: 1_000_000, ReadRatio: 0.8},
+			{Weight: 0.20, Behavior: Zipf, Lines: 4000, ReadRatio: 0.9, ZipfS: 1.0},
+		},
+	})
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"testing"
+
+	"rwp/internal/mem"
+	"rwp/internal/trace"
+	"rwp/internal/xrand"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	if len(All()) < 20 {
+		t.Fatalf("only %d profiles registered; want a SPEC-scale suite", len(All()))
+	}
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSensitiveSubsetNonEmpty(t *testing.T) {
+	s := SensitiveNames()
+	if len(s) < 8 {
+		t.Fatalf("sensitive subset has %d profiles, want >= 8", len(s))
+	}
+	if len(s) >= len(All()) {
+		t.Fatal("every profile marked sensitive; insensitive set empty")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("not-a-benchmark"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	p, err := Get("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("Get(mcf) = %+v, %v", p, err)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "povray", "cactusADM"} {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := trace.Collect(trace.NewLimit(p.NewSource(), 5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := trace.Collect(trace.NewLimit(p.NewSource(), 5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: access %d differs between runs", name, i)
+			}
+		}
+	}
+}
+
+func TestResetRestartsStream(t *testing.T) {
+	p, err := Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.NewSource()
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Reset()
+	again, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("Reset did not restart: %v vs %v", first, again)
+	}
+}
+
+func TestICMonotone(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Get(name)
+		src := p.NewSource()
+		prev := uint64(0)
+		for i := 0; i < 2000; i++ {
+			a, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.IC <= prev {
+				t.Fatalf("%s: IC not strictly increasing at access %d", name, i)
+			}
+			prev = a.IC
+		}
+	}
+}
+
+func TestMemIntensityApproximatelyHonored(t *testing.T) {
+	for _, name := range []string{"mcf", "povray", "lbm"} {
+		p, _ := Get(name)
+		src := p.NewSource()
+		var last mem.Access
+		const n = 50000
+		for i := 0; i < n; i++ {
+			a, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = a
+		}
+		got := float64(n) / float64(last.IC)
+		if got < p.MemIntensity*0.7 || got > p.MemIntensity*1.3 {
+			t.Errorf("%s: measured intensity %.3f vs declared %.3f", name, got, p.MemIntensity)
+		}
+	}
+}
+
+func TestReadWriteMixesDiffer(t *testing.T) {
+	ratio := func(name string) float64 {
+		p, _ := Get(name)
+		st, err := trace.Summarize(trace.NewLimit(p.NewSource(), 50000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.ReadRatio()
+	}
+	// lbm is write-heavy; namd is read-dominated.
+	if lbm, namd := ratio("lbm"), ratio("namd"); lbm >= namd {
+		t.Fatalf("lbm read ratio %.2f >= namd %.2f", lbm, namd)
+	}
+	if r := ratio("lbm"); r > 0.55 {
+		t.Errorf("lbm read ratio %.2f, want write-heavy (<= 0.55)", r)
+	}
+	if r := ratio("namd"); r < 0.8 {
+		t.Errorf("namd read ratio %.2f, want read-heavy (>= 0.8)", r)
+	}
+}
+
+func TestFootprintsMatchSensitivityClass(t *testing.T) {
+	footprint := func(name string) uint64 {
+		p, _ := Get(name)
+		st, err := trace.Summarize(trace.NewLimit(p.NewSource(), 200000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Lines
+	}
+	// Tiny compute-bound profile stays under L2 scale.
+	if f := footprint("povray"); f > 4096 {
+		t.Errorf("povray footprint %d lines, want < 4096", f)
+	}
+	// Streaming profile exceeds LLC scale (32768 lines) quickly.
+	if f := footprint("libquantum"); f < 32768 {
+		t.Errorf("libquantum footprint %d lines, want >= 32768", f)
+	}
+	// Sensitive profile lands in the around-LLC band.
+	if f := footprint("sphinx3"); f < 16384 {
+		t.Errorf("sphinx3 footprint %d lines, want >= 16384", f)
+	}
+}
+
+func TestChaseComponentIsCycle(t *testing.T) {
+	// The pointer chase must visit every line exactly once per lap.
+	c := newChaseComp(newTestRNG(), 0, 1000, 0x400000)
+	seen := make(map[mem.Addr]int)
+	for i := 0; i < 2000; i++ {
+		a, kind, _ := c.next()
+		if kind != mem.Load {
+			t.Fatal("chase emitted a store")
+		}
+		seen[a]++
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("chase visited %d distinct lines, want 1000", len(seen))
+	}
+	for a, n := range seen {
+		if n != 2 {
+			t.Fatalf("line %v visited %d times in two laps", a, n)
+		}
+	}
+}
+
+func TestWriteOnceNeverRereferencesSoon(t *testing.T) {
+	c := &writeOnceComp{base: 0, lines: 1 << 20, rng: newTestRNG(), pcBase: 0x400000}
+	seen := make(map[mem.Addr]bool)
+	for i := 0; i < 100000; i++ {
+		a, kind, _ := c.next()
+		if kind != mem.Store {
+			t.Fatal("write-once emitted a load")
+		}
+		if seen[a] {
+			t.Fatalf("write-once revisited %v within horizon", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestProdConsReadsFollowWrites(t *testing.T) {
+	// Every read from the producer-consumer component must target a line
+	// that was previously written (once the ring has wrapped past lag).
+	c := newProdConsComp(0, 4096, 64, 1, 4, 0x400000)
+	written := make(map[mem.Addr]bool)
+	coldReads, reads := 0, 0
+	for i := 0; i < 50000; i++ {
+		a, kind, _ := c.next()
+		if kind == mem.Store {
+			written[a] = true
+			continue
+		}
+		reads++
+		if !written[a] {
+			coldReads++
+		}
+	}
+	if reads == 0 {
+		t.Fatal("prod-cons produced no reads")
+	}
+	// Only the startup transient (first lag blocks) may read cold lines.
+	if coldReads > 4*64 {
+		t.Fatalf("%d cold reads of %d, want <= startup transient", coldReads, reads)
+	}
+}
+
+func TestStackStaysInBounds(t *testing.T) {
+	c := &stackComp{base: 0, depth: 64, rng: newTestRNG(), pcBase: 0x400000}
+	for i := 0; i < 100000; i++ {
+		a, _, _ := c.next()
+		if a >= 64*64 {
+			t.Fatalf("stack escaped its region: %v", a)
+		}
+	}
+	if c.sp < 0 || c.sp >= 64 {
+		t.Fatalf("stack pointer %d out of bounds", c.sp)
+	}
+}
+
+func TestPCPoolsDistinguishComponents(t *testing.T) {
+	// Reads and writes from different components must use disjoint PCs so
+	// PC-indexed predictors (RRP) can separate behaviors.
+	p, _ := Get("mcf")
+	src := p.NewSource()
+	pcsByKind := map[mem.Kind]map[mem.Addr]bool{
+		mem.Load: {}, mem.Store: {},
+	}
+	for i := 0; i < 20000; i++ {
+		a, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcsByKind[a.Kind][a.PC] = true
+	}
+	if len(pcsByKind[mem.Load]) < 2 {
+		t.Fatal("too few distinct load PCs")
+	}
+	for pc := range pcsByKind[mem.Store] {
+		if pcsByKind[mem.Load][pc] {
+			t.Fatalf("PC %v used for both loads and stores in mcf", pc)
+		}
+	}
+}
+
+func newTestRNG() *xrand.RNG { return xrand.New(42) }

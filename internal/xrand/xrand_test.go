@@ -1,0 +1,167 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := New(8)
+	same := true
+	a = New(7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestChanceFrequency(t *testing.T) {
+	r := New(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Chance(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.23 || got > 0.27 {
+		t.Fatalf("Chance(0.25) frequency = %v", got)
+	}
+	if r.Chance(0) {
+		t.Fatal("Chance(0) returned true")
+	}
+	if !r.Chance(1) {
+		t.Fatal("Chance(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-square-ish sanity test over 16 buckets.
+	r := New(99)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	want := n / 16
+	for i, c := range buckets {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d of expected %d", i, c, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(5)
+	z := NewZipf(r, 1000, 1.0)
+	var counts [1000]int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 99 by roughly its theoretical 100x.
+	if counts[0] < counts[99]*20 {
+		t.Fatalf("zipf insufficiently skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// Every draw must be in range (implicitly checked by the array), and
+	// the head should account for a large share.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.3 {
+		t.Fatalf("top-10 share = %v, want > 0.3", float64(head)/n)
+	}
+}
+
+func TestZipfUniformishWhenSZero(t *testing.T) {
+	r := New(6)
+	z := NewZipf(r, 10, 0.0)
+	var counts [10]int
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("s=0 zipf bucket %d = %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestInternalMathHelpers(t *testing.T) {
+	cases := []float64{0.1, 0.5, 1, 2, 2.718281828, 10, 1000}
+	for _, x := range cases {
+		if got, want := logf(x), math.Log(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("logf(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, x := range []float64{-3, -1, -0.5, 0, 0.5, 1, 3, 10} {
+		if got, want := expf(x), math.Exp(x); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("expf(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, c := range []struct{ b, e float64 }{{2, 0.5}, {10, 1.2}, {3, 2}} {
+		if got, want := pow(c.b, c.e), math.Pow(c.b, c.e); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("pow(%v,%v) = %v, want %v", c.b, c.e, got, want)
+		}
+	}
+}
