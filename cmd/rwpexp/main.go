@@ -11,7 +11,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"rwp/internal/exps"
 )
@@ -49,8 +48,7 @@ func main() {
 			continue
 		}
 		ran = true
-		start := time.Now()
-		fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+		prog := startProgress(os.Stdout, e.ID, e.Title)
 		t, err := e.Run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
@@ -74,7 +72,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		prog.done(e.ID)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// progress is the experiment driver's wall-clock progress reporter.
+// It is the only place in the repo (outside tests' harness) that may
+// read the host clock: the simulator under internal/ runs purely on
+// simulated cycle counters, and the rwplint nowallclock rule keeps it
+// that way. Anything new that needs wall-clock timing belongs behind a
+// helper like this one, under cmd/.
+type progress struct {
+	w     io.Writer
+	start time.Time
+}
+
+// startProgress announces an experiment and starts its stopwatch.
+func startProgress(w io.Writer, id, title string) *progress {
+	fmt.Fprintf(w, "--- %s: %s ---\n", id, title)
+	return &progress{w: w, start: time.Now()}
+}
+
+// done reports the experiment's wall-clock duration, rounded for
+// humans (results never include wall time; it is presentation only).
+func (p *progress) done(id string) {
+	fmt.Fprintf(p.w, "(%s in %v)\n\n", id, time.Since(p.start).Round(time.Millisecond))
+}

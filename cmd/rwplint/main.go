@@ -1,0 +1,77 @@
+// Command rwplint runs rwp's determinism-and-correctness static
+// analysis (internal/analysis) over the module and reports findings as
+//
+//	file:line rule: message
+//
+// relative to the module root. Usage:
+//
+//	rwplint [-v] [packages]
+//
+// With no arguments or "./..." it checks every package in the module.
+// Explicit directory arguments (e.g. ./internal/cache) check just those
+// packages; this is also the only way to lint a testdata fixture.
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 load/usage error.
+// Suppress a finding with "//rwplint:allow <rule> — <reason>" on the
+// offending line or the line above; -v lists suppressed findings too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rwp/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list suppressed findings and their count")
+	flag.Parse()
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*analysis.Package
+	args := flag.Args()
+	wholeModule := len(args) == 0 || (len(args) == 1 && args[0] == "./...")
+	if wholeModule {
+		pkgs, err = loader.LoadModule()
+	} else {
+		pkgs, err = loader.LoadDirs(args)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(analysis.Default(), pkgs)
+	unsuppressed := analysis.Unsuppressed(findings)
+	suppressed := len(findings) - len(unsuppressed)
+	for _, f := range unsuppressed {
+		fmt.Printf("%s:%d %s: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
+	}
+	if *verbose {
+		for _, f := range findings {
+			if f.Suppressed {
+				fmt.Printf("%s:%d %s: suppressed: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
+			}
+		}
+		fmt.Printf("rwplint: %d packages, %d findings (%d suppressed)\n", len(pkgs), len(findings), suppressed)
+	}
+	if len(unsuppressed) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relPath renders file positions relative to the module root (or the
+// working directory for files outside it) for stable, short output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one in-memory source file as package path and
+// runs the given analyzers over it, returning all findings (suppressed
+// included). Fixtures may import the standard library only.
+func checkSrc(t *testing.T, path, src string, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: newStdImporter(fset),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, []*ast.File{file}, info)
+	if len(errs) > 0 {
+		t.Fatalf("type-checking fixture: %v", errs[0])
+	}
+	pkg := &Package{Path: path, Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	return Run(analyzers, []*Package{pkg})
+}
+
+// wantFindings asserts the unsuppressed findings hit exactly the given
+// rule at the given lines (order-insensitive on equal lines).
+func wantFindings(t *testing.T, findings []Finding, rule string, lines ...int) {
+	t.Helper()
+	un := Unsuppressed(findings)
+	if len(un) != len(lines) {
+		t.Fatalf("got %d unsuppressed findings, want %d: %v", len(un), len(lines), un)
+	}
+	for i, f := range un {
+		if f.Rule != rule || f.Pos.Line != lines[i] {
+			t.Errorf("finding %d = %s:%d %s, want line %d rule %s", i, f.Pos.Filename, f.Pos.Line, f.Rule, lines[i], rule)
+		}
+	}
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	src := `package fix
+
+import "math/rand" //rwplint:allow norand — fixture exercising same-line suppression
+
+var _ = rand.Int
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	if len(Unsuppressed(findings)) != 0 {
+		t.Fatalf("same-line directive did not suppress: %v", findings)
+	}
+	if len(findings) != 1 || !findings[0].Suppressed {
+		t.Fatalf("suppressed finding should be retained: %v", findings)
+	}
+}
+
+func TestSuppressionPrecedingLine(t *testing.T) {
+	src := `package fix
+
+//rwplint:allow norand — fixture exercising preceding-line suppression
+import "math/rand"
+
+var _ = rand.Int
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	if len(Unsuppressed(findings)) != 0 {
+		t.Fatalf("preceding-line directive did not suppress: %v", findings)
+	}
+}
+
+func TestSuppressionWrongRuleDoesNotApply(t *testing.T) {
+	src := `package fix
+
+import "math/rand" //rwplint:allow floateq — wrong rule on purpose
+
+var _ = rand.Int
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	wantFindings(t, findings, "norand", 3)
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	src := `package fix
+
+//rwplint:allow norand
+import "math/rand"
+
+var _ = rand.Int
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	un := Unsuppressed(findings)
+	if len(un) != 2 {
+		t.Fatalf("want norand + directive findings, got %v", un)
+	}
+	var rules []string
+	for _, f := range un {
+		rules = append(rules, f.Rule)
+	}
+	joined := strings.Join(rules, ",")
+	if !strings.Contains(joined, "directive") || !strings.Contains(joined, "norand") {
+		t.Fatalf("reason-less directive must not suppress and must be reported: %v", un)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "internal/x/x.go", Line: 7},
+		Rule:    "norand",
+		Message: "boom",
+	}
+	if got, want := f.String(), "internal/x/x.go:7 norand: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPathScopeHelpers(t *testing.T) {
+	cases := []struct {
+		path  string
+		under bool
+		sub   string
+	}{
+		{"rwp/internal/cache", true, "cache"},
+		{"rwp/internal/analysis/testdata/badpkg", true, "analysis/testdata/badpkg"},
+		{"rwp/cmd/rwpexp", false, ""},
+		{"rwp", false, ""},
+		{"internal/x", true, "x"},
+	}
+	for _, c := range cases {
+		if underInternal(c.path) != c.under {
+			t.Errorf("underInternal(%q) = %v, want %v", c.path, !c.under, c.under)
+		}
+		if got := internalPkg(c.path); got != c.sub {
+			t.Errorf("internalPkg(%q) = %q, want %q", c.path, got, c.sub)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctrWidthPkgs are the internal packages whose uint64 access/hit/miss
+// counters the rule protects. Long runs overflow 32-bit counters
+// (2M accesses × many experiments); a narrowing conversion reintroduces
+// silent truncation exactly where the statistics are computed.
+var ctrWidthPkgs = map[string]bool{
+	"stats": true,
+	"cache": true,
+	"core":  true,
+}
+
+// CtrWidth flags narrowing conversions of uint64 values to int-family
+// types narrower than 64 bits in internal/stats, internal/cache, and
+// internal/core. Where a conversion is provably bounded (e.g. a masked
+// set index), suppress it with //rwplint:allow ctrwidth and say why.
+var CtrWidth = &Analyzer{
+	Name: "ctrwidth",
+	Doc:  "flag narrowing uint64→int/int32/uint32 conversions in internal/{stats,cache,core}",
+	Run: func(pass *Pass) {
+		// Scoped by the first segment under internal/ (covers
+		// subpackages of the protected three) and by the last segment
+		// (covers testdata fixtures named after them).
+		sub := internalPkg(pass.Path)
+		if sub == "" {
+			return
+		}
+		segs := strings.Split(sub, "/")
+		root := strings.TrimSuffix(segs[0], "_test")
+		leaf := strings.TrimSuffix(segs[len(segs)-1], "_test")
+		if !ctrWidthPkgs[root] && !ctrWidthPkgs[leaf] {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst, ok := tv.Type.Underlying().(*types.Basic)
+				if !ok || !narrowIntKind(dst.Kind()) {
+					return true
+				}
+				argT, ok := pass.Info.Types[call.Args[0]]
+				if !ok || argT.Type == nil {
+					return true
+				}
+				src, ok := argT.Type.Underlying().(*types.Basic)
+				if !ok || src.Kind() != types.Uint64 {
+					return true
+				}
+				pass.Reportf(call.Pos(), "narrowing conversion %s(uint64) may truncate a 64-bit counter; keep uint64 or justify with //rwplint:allow", dst.Name())
+				return true
+			})
+		}
+	},
+}
+
+// narrowIntKind reports integer kinds narrower than 64 bits (int is
+// included: it is 32-bit on 32-bit platforms).
+func narrowIntKind(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32,
+		types.Uint8, types.Uint16, types.Uint32:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestCtrWidthFlagsNarrowingInScopedPkgs(t *testing.T) {
+	src := `package stats
+
+func f(misses uint64) (int, uint32) {
+	a := int(misses)
+	b := uint32(misses)
+	return a, b
+}
+`
+	findings := checkSrc(t, "rwp/internal/stats", src, CtrWidth)
+	wantFindings(t, findings, "ctrwidth", 4, 5)
+}
+
+func TestCtrWidthCleanOnWideningAndOtherPkgs(t *testing.T) {
+	// Widening and 64-bit destinations are fine in scoped packages.
+	src := `package cache
+
+func f(misses uint64, ways int16) (uint64, int64, int) {
+	return misses, int64(misses), int(ways)
+}
+`
+	findings := checkSrc(t, "rwp/internal/cache", src, CtrWidth)
+	wantFindings(t, findings, "ctrwidth")
+
+	// Packages outside internal/{stats,cache,core} are out of scope.
+	outSrc := `package report
+
+func f(misses uint64) int { return int(misses) }
+`
+	findings = checkSrc(t, "rwp/internal/report", outSrc, CtrWidth)
+	wantFindings(t, findings, "ctrwidth")
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. IPC,
+// miss-rate, and speedup comparisons accumulate rounding error; exact
+// equality silently flips with evaluation order and compiler version.
+// Compare with a tolerance instead (internal/stats keeps the metric
+// helpers). Comparisons where both sides are compile-time constants are
+// exact by the spec and not flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands; compare with a tolerance",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				tx, okx := pass.Info.Types[b.X]
+				ty, oky := pass.Info.Types[b.Y]
+				if !okx || !oky {
+					return true
+				}
+				if !isFloat(tx.Type) && !isFloat(ty.Type) {
+					return true
+				}
+				if tx.Value != nil && ty.Value != nil {
+					return true // constant-folded: exact by definition
+				}
+				pass.Reportf(b.OpPos, "floating-point %s comparison; use a tolerance (e.g. math.Abs(a-b) <= eps)", b.Op)
+				return true
+			})
+		}
+	},
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

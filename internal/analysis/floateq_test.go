@@ -1,0 +1,37 @@
+package analysis
+
+import "testing"
+
+func TestFloatEqFlagsEqualityOnFloats(t *testing.T) {
+	src := `package fix
+
+type ipc float64
+
+func f(a, b float64, c, d ipc) bool {
+	if a == b {
+		return true
+	}
+	return c != d
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, FloatEq)
+	wantFindings(t, findings, "floateq", 6, 9)
+}
+
+func TestFloatEqCleanOnIntsAndTolerance(t *testing.T) {
+	src := `package fix
+
+import "math"
+
+func f(a, b float64, i, j int) bool {
+	if i == j {
+		return false
+	}
+	return math.Abs(a-b) <= 1e-9
+}
+
+const exact = 0.5 == 0.25*2
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, FloatEq)
+	wantFindings(t, findings, "floateq")
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("rwp/internal/cache"); external test
+	// packages carry a "_test" suffix.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module using only the
+// standard library (go/parser + go/types). Standard-library imports are
+// resolved from compiled export data when available and from GOROOT
+// source otherwise; module-internal imports are type-checked on demand
+// from source.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+	Fset   *token.FileSet
+
+	std      types.Importer
+	imports  map[string]*types.Package // import-resolution packages (base files only)
+	checking map[string]bool           // cycle detection
+	sizes    types.Sizes
+}
+
+// NewLoader locates the module root at or above dir and returns a
+// loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:     root,
+		Module:   mod,
+		Fset:     fset,
+		std:      newStdImporter(fset),
+		imports:  make(map[string]*types.Package),
+		checking: make(map[string]bool),
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}, nil
+}
+
+// LoadModule loads every package in the module, test files included,
+// skipping testdata and hidden directories. The result is sorted by
+// import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return l.LoadDirs(dirs)
+}
+
+// LoadDirs loads the packages rooted at the given directories (each
+// directory is one package). Directories under the module root get
+// their real import path; testdata fixtures are included when named
+// explicitly.
+func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		path, err := l.importPath(abs)
+		if err != nil {
+			return nil, err
+		}
+		loaded, err := l.loadDir(abs, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPath maps an absolute directory to its module import path.
+func (l *Loader) importPath(abs string) (string, error) {
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", abs, l.Root)
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses one directory and returns its analysis packages: the
+// base package merged with in-package test files, plus (when present)
+// the external "_test" package.
+func (l *Loader) loadDir(dir, path string) ([]*Package, error) {
+	base, inTest, extTest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(extTest) == 0 {
+		return nil, nil
+	}
+	var out []*Package
+	if len(base)+len(inTest) > 0 {
+		pkg, err := l.check(path, dir, append(append([]*ast.File{}, base...), inTest...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(extTest) > 0 {
+		pkg, err := l.check(path+"_test", dir, extTest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// parseDir parses every .go file in dir and splits the files into base
+// package, in-package tests, and external-test package.
+func (l *Loader) parseDir(dir string) (base, inTest, extTest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") || strings.HasPrefix(e.Name(), "_") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	pkgName := ""
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		fp := file.Name.Name
+		switch {
+		case isTest && strings.HasSuffix(fp, "_test"):
+			extTest = append(extTest, file)
+		case isTest:
+			inTest = append(inTest, file)
+		default:
+			if pkgName == "" {
+				pkgName = fp
+			}
+			if fp != pkgName {
+				return nil, nil, nil, fmt.Errorf("analysis: %s: mixed packages %q and %q", dir, pkgName, fp)
+			}
+			base = append(base, file)
+		}
+	}
+	return base, inTest, extTest, nil
+}
+
+// check type-checks files as package path and returns its Package.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importFor),
+		Sizes:    l.sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v (%d errors)", path, errs[0], len(errs))
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importFor resolves an import path during type-checking: module
+// packages are checked from source (base files only, memoized), and
+// everything else is delegated to the standard-library importer.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer func() { l.checking[path] = false }()
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	base, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importFor),
+		Sizes:    l.sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, base, nil)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v (%d errors)", path, errs[0], len(errs))
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newStdImporter returns an importer for non-module packages: compiled
+// export data when the toolchain provides it, GOROOT source otherwise.
+func newStdImporter(fset *token.FileSet) types.Importer {
+	return &stdImporter{
+		gc:    importer.Default(),
+		src:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+type stdImporter struct {
+	gc    types.Importer
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := s.gc.Import(path)
+	if err != nil {
+		pkg, err = s.src.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.cache[path] = pkg
+	return pkg, nil
+}
+
+// hasGoFiles reports whether dir directly contains a .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map whose body has
+// order-sensitive effects. Go randomizes map iteration order, so any
+// observable sequence produced inside such a loop (slice appends,
+// writes to a stream, assignments into result fields) varies from run
+// to run and breaks the bit-identical-Results guarantee.
+//
+// The canonical collect-then-sort idiom is recognized and allowed: a
+// loop whose only effects are appends to variables that are passed to a
+// sort.* / slices.Sort* call later in the same block is deterministic
+// overall and reports nothing.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration with order-sensitive effects unless the result is sorted afterwards",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				for i, stmt := range block.List {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					tv, ok := pass.Info.Types[rs.X]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						continue
+					}
+					effects := collectEffects(pass, rs.Body)
+					if len(effects) == 0 {
+						continue
+					}
+					if appendsSortedAfter(pass, effects, block.List[i+1:]) {
+						continue
+					}
+					pass.Reportf(rs.Pos(), "iteration over map %s has order-sensitive effects (%s); iterate sorted keys or sort the collected result", types.ExprString(rs.X), effects[0].kind)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// effect is one order-sensitive operation found in a range body.
+type effect struct {
+	kind string
+	// target is the appended-to variable for kind "append" (nil when
+	// the append target is not a plain variable).
+	target types.Object
+}
+
+// collectEffects scans a map-range body for operations whose outcome
+// depends on iteration order.
+func collectEffects(pass *Pass, body *ast.BlockStmt) []effect {
+	var effects []effect
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if e, ok := appendEffect(pass, n); ok {
+				effects = append(effects, e)
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				switch lhs := lhs.(type) {
+				case *ast.SelectorExpr:
+					effects = append(effects, effect{kind: "struct field assignment"})
+				case *ast.IndexExpr:
+					if tv, ok := pass.Info.Types[lhs.X]; ok && tv.Type != nil {
+						switch tv.Type.Underlying().(type) {
+						case *types.Slice, *types.Array, *types.Pointer:
+							effects = append(effects, effect{kind: "indexed slice assignment"})
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			effects = append(effects, effect{kind: "channel send"})
+		case *ast.CallExpr:
+			if name, ok := writeCall(pass, n); ok {
+				effects = append(effects, effect{kind: name + " write"})
+			}
+		}
+		return true
+	})
+	return effects
+}
+
+// appendEffect matches `x = append(x, …)` (or :=) and returns the
+// append target.
+func appendEffect(pass *Pass, as *ast.AssignStmt) (effect, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return effect{}, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return effect{}, false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return effect{}, false
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return effect{}, false
+	}
+	e := effect{kind: "append"}
+	if id, ok := as.Lhs[0].(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			e.target = obj
+		} else if obj := pass.Info.Defs[id]; obj != nil {
+			e.target = obj
+		}
+	}
+	return e, true
+}
+
+// writeCall reports calls that emit to a stream: fmt print functions
+// and Write*/Print* methods (io.Writer, strings.Builder, …).
+func writeCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if hasPrefixAny(name, "Print", "Fprint") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil && hasPrefixAny(name, "Write", "Print") {
+		return "." + name, true
+	}
+	return "", false
+}
+
+// appendsSortedAfter reports whether every effect is an append to a
+// variable that a later statement in the enclosing block sorts.
+func appendsSortedAfter(pass *Pass, effects []effect, rest []ast.Stmt) bool {
+	for _, e := range effects {
+		if e.kind != "append" || e.target == nil {
+			return false
+		}
+		if !sortedIn(pass, e.target, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedIn reports whether stmts contain a sort.* or slices.Sort* call
+// whose first argument is the given variable.
+func sortedIn(pass *Pass, target types.Object, stmts []ast.Stmt) bool {
+	found := false
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok && pass.Info.Uses[id] == target {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPrefixAny reports whether s starts with any of the prefixes.
+func hasPrefixAny(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import "testing"
+
+func TestMapOrderFlagsOrderSensitiveBodies(t *testing.T) {
+	src := `package fix
+
+import "fmt"
+
+type result struct{ total int }
+
+func f(m map[string]int, res *result, out []int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	for _, v := range m {
+		fmt.Println(v)
+	}
+	for i, v := range m {
+		_ = i
+		res.total = v
+	}
+	return names
+}
+`
+	// Three findings: unsorted append (line 9), fmt write (12), struct
+	// field assignment (15).
+	findings := checkSrc(t, "rwp/internal/fix", src, MapOrder)
+	wantFindings(t, findings, "maporder", 9, 12, 15)
+}
+
+func TestMapOrderAllowsCollectThenSort(t *testing.T) {
+	// The registry idiom used across the repo: collect keys, sort, use.
+	src := `package fix
+
+import "sort"
+
+func names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nested(m map[string]bool) []string {
+	var out []string
+	for k, keep := range m {
+		if keep {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, MapOrder)
+	wantFindings(t, findings, "maporder")
+}
+
+func TestMapOrderAllowsCommutativeBodies(t *testing.T) {
+	// Pure accumulation and map-to-map writes are order-insensitive.
+	src := `package fix
+
+func g(m map[string]int) (int, map[string]int) {
+	sum := 0
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		sum += v
+		inv[k] = v * 2
+	}
+	return sum, inv
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, MapOrder)
+	wantFindings(t, findings, "maporder")
+}
+
+func TestMapOrderSliceRangesNotFlagged(t *testing.T) {
+	src := `package fix
+
+import "fmt"
+
+func h(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, MapOrder)
+	wantFindings(t, findings, "maporder")
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "strings"
+
+// bannedRandImports are the stdlib randomness sources that break
+// seed-reproducibility: math/rand's global state is shared and
+// crypto/rand is non-deterministic by design.
+var bannedRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// NoRand forbids stdlib randomness under internal/. Every stochastic
+// component must draw from rwp/internal/xrand, whose seeded SplitMix64
+// streams make whole-simulation results bit-reproducible.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand, math/rand/v2, and crypto/rand imports under internal/ (use internal/xrand)",
+	Run: func(pass *Pass) {
+		if !underInternal(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if bannedRandImports[path] {
+					pass.Reportf(imp.Pos(), "import of %s is forbidden under internal/; use rwp/internal/xrand for deterministic randomness", path)
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestNoRandFlagsBannedImports(t *testing.T) {
+	src := `package fix
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+)
+
+var _ = mrand.Int
+var _ = rand.Reader
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	wantFindings(t, findings, "norand", 4, 5)
+}
+
+func TestNoRandCleanOutsideInternal(t *testing.T) {
+	// cmd/ may use the stdlib generators (e.g. for shuffling CLI demo
+	// input); only internal/ is scoped.
+	src := `package main
+
+import "math/rand"
+
+func main() { _ = rand.Int() }
+`
+	findings := checkSrc(t, "rwp/cmd/demo", src, NoRand)
+	wantFindings(t, findings, "norand")
+}
+
+func TestNoRandCleanOnXrandUse(t *testing.T) {
+	src := `package fix
+
+import "sort"
+
+func sorted(xs []string) { sort.Strings(xs) }
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	wantFindings(t, findings, "norand")
+}

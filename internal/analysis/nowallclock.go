@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the wall clock. Simulated time lives in internal/cpu cycle counters;
+// any wall-clock read under internal/ makes a run's behavior depend on
+// host speed and scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock forbids wall-clock access under internal/. Wall-clock
+// progress reporting belongs in cmd/ (see cmd/rwpexp's stopwatch).
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Since/Sleep (and friends) under internal/; simulated time only",
+	Run: func(pass *Pass) {
+		if !underInternal(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; internal/ must use simulated time (cycle counters)", fn.Name())
+				return true
+			})
+		}
+	},
+}

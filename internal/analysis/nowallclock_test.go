@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestNoWallClockFlagsTimeReads(t *testing.T) {
+	src := `package fix
+
+import "time"
+
+func f() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoWallClock)
+	wantFindings(t, findings, "nowallclock", 6, 7, 8)
+}
+
+func TestNoWallClockAllowsDurationsAndCmd(t *testing.T) {
+	// time.Duration values and constants are pure data — only clock
+	// reads are banned.
+	src := `package fix
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func f(d time.Duration) float64 { return d.Seconds() }
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoWallClock)
+	wantFindings(t, findings, "nowallclock")
+
+	cmdSrc := `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`
+	findings = checkSrc(t, "rwp/cmd/demo", cmdSrc, NoWallClock)
+	wantFindings(t, findings, "nowallclock")
+}

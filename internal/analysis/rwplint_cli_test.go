@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRwplintCLIOnViolatingPackage builds cmd/rwplint and points it at
+// the deliberately broken fixture package under testdata/. The CLI must
+// exit non-zero and print one `file:line rule: message` finding per
+// violated rule.
+func TestRwplintCLIOnViolatingPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a subprocess")
+	}
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "rwplint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/rwplint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rwplint: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "./internal/analysis/testdata/stats")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("rwplint on violating package: err = %v, want non-zero exit; output:\n%s", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, exitErr.Stderr)
+	}
+
+	lineRE := regexp.MustCompile(`^internal/analysis/testdata/stats/bad\.go:\d+ [a-z]+: .+$`)
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed finding line %q, want file:line rule: message", line)
+			continue
+		}
+		rule := strings.SplitN(strings.Fields(line)[1], ":", 2)[0]
+		seen[rule] = true
+	}
+	for _, rule := range []string{"norand", "nowallclock", "maporder", "floateq", "ctrwidth"} {
+		if !seen[rule] {
+			t.Errorf("fixture violation for rule %s not reported; output:\n%s", rule, out)
+		}
+	}
+
+	// The same binary over the real module must be clean.
+	clean := exec.Command(bin, "./...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Errorf("rwplint over the module should be clean: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// TestSelfCheck runs the full analyzer suite over the whole module and
+// fails on any unsuppressed finding. This is the enforcement point that
+// makes the determinism rules part of the tier-1 gate: `go test ./...`
+// cannot pass while internal/ imports math/rand, reads the wall clock,
+// iterates a map into an ordered result, compares floats exactly, or
+// narrows a 64-bit counter — unless the site carries a justified
+// //rwplint:allow directive.
+func TestSelfCheck(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// A silent load failure would vacuously pass; the module has ~30
+	// packages (test packages included), so anything below 20 means the
+	// walker or type-checker lost packages.
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader lost packages", len(pkgs))
+	}
+	findings := Run(Default(), pkgs)
+	for _, f := range Unsuppressed(findings) {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Log("fix the finding or suppress it with //rwplint:allow <rule> — <reason> (see DESIGN.md, Determinism guarantees)")
+	}
+}

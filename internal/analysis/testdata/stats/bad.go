@@ -1,0 +1,32 @@
+// Package stats (a testdata fixture, not rwp/internal/stats)
+// deliberately violates every rwplint rule. It lives
+// under testdata/ so the module walker skips it; the CLI regression
+// test lints it explicitly and asserts rwplint exits non-zero with
+// file:line-formatted findings for each rule.
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Counters mimics the stats-package shape the ctrwidth rule protects.
+type Counters struct {
+	Hits, Misses uint64
+}
+
+// Report trips norand, nowallclock, maporder, floateq, and ctrwidth.
+func Report(m map[string]Counters, ipc, base float64) int {
+	start := time.Now() // nowallclock
+	for name, c := range m {
+		fmt.Println(name, c.Hits) // maporder: stream write in map range
+	}
+	if ipc == base { // floateq
+		fmt.Println("tie")
+	}
+	total := int(m["x"].Misses) // ctrwidth (fixture path ends in /stats)
+	total += rand.Intn(8)       // norand (import)
+	_ = time.Since(start)
+	return total
+}

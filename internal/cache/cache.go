@@ -272,7 +272,7 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) LineShift() uint { return c.shift }
 
 // NumSets implements StateReader.
-func (c *Cache) NumSets() int { return int(c.mask) + 1 }
+func (c *Cache) NumSets() int { return int(c.mask) + 1 } //rwplint:allow ctrwidth — bounded: mask = Sets()-1 and Sets is an int
 
 // Ways implements StateReader.
 func (c *Cache) Ways() int { return c.cfg.Ways }
@@ -290,7 +290,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) Policy() Policy { return c.policy }
 
 // SetIndex maps a line address to its set.
-func (c *Cache) SetIndex(line mem.LineAddr) int { return int(uint64(line) & c.mask) }
+func (c *Cache) SetIndex(line mem.LineAddr) int { return int(uint64(line) & c.mask) } //rwplint:allow ctrwidth — bounded: masked to [0, NumSets)
 
 // Lookup reports whether line is present, without updating any state.
 func (c *Cache) Lookup(line mem.LineAddr) (set, way int, ok bool) {

@@ -292,12 +292,12 @@ func TestClassPredicates(t *testing.T) {
 
 func TestMissRatio(t *testing.T) {
 	var s Stats
-	if s.MissRatio(DemandLoad) != 0 {
+	if s.MissRatio(DemandLoad) != 0 { //rwplint:allow floateq — exact: zero-access ratio is exactly 0
 		t.Fatal("zero-access miss ratio must be 0")
 	}
 	s.Accesses[DemandLoad] = 4
 	s.Misses[DemandLoad] = 1
-	if s.MissRatio(DemandLoad) != 0.25 {
+	if s.MissRatio(DemandLoad) != 0.25 { //rwplint:allow floateq — exact: 1/4 is exactly representable
 		t.Fatalf("MissRatio = %v", s.MissRatio(DemandLoad))
 	}
 }

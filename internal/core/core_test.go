@@ -122,7 +122,7 @@ func TestTargetWithinRangeAlways(t *testing.T) {
 	if p.Intervals() == 0 {
 		t.Fatal("no repartitionings happened")
 	}
-	if len(p.History()) != int(p.Intervals()) {
+	if uint64(len(p.History())) != p.Intervals() {
 		t.Fatal("history length disagrees with interval count")
 	}
 }

@@ -98,7 +98,7 @@ func TestTotalBytesRoundsUp(t *testing.T) {
 }
 
 func TestRatioZeroDenominator(t *testing.T) {
-	if Ratio(Breakdown{}, Breakdown{}) != 0 {
+	if Ratio(Breakdown{}, Breakdown{}) != 0 { //rwplint:allow floateq — exact: zero-denominator ratio is exactly 0
 		t.Fatal("Ratio with empty denominator must be 0")
 	}
 }

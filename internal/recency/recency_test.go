@@ -1,9 +1,10 @@
 package recency
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"rwp/internal/xrand"
 )
 
 func TestFreshOrder(t *testing.T) {
@@ -111,7 +112,7 @@ func TestLRUStackProperty(t *testing.T) {
 }
 
 func TestOrderIsAlwaysPermutation(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := xrand.New(42)
 	tab := NewTable(2, 16)
 	for i := 0; i < 10000; i++ {
 		set := rng.Intn(2)

@@ -23,7 +23,7 @@ func TestRunSourceMatchesRunSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if direct.IPC != viaSource.IPC || direct.LLC != viaSource.LLC {
+	if direct.IPC != viaSource.IPC || direct.LLC != viaSource.LLC { //rwplint:allow floateq — exact: bit-identity determinism check
 		t.Fatalf("RunSource diverged from RunSingle: IPC %v vs %v", direct.IPC, viaSource.IPC)
 	}
 }

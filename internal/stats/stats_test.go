@@ -19,7 +19,7 @@ func TestMeans(t *testing.T) {
 	if !almost(HMean(xs), 3/(1+0.5+0.25)) {
 		t.Errorf("HMean = %v", HMean(xs))
 	}
-	if AMean(nil) != 0 || GeoMean(nil) != 0 || HMean(nil) != 0 {
+	if AMean(nil) != 0 || GeoMean(nil) != 0 || HMean(nil) != 0 { //rwplint:allow floateq — exact: empty-input means are exactly 0
 		t.Error("empty means must be 0")
 	}
 }
@@ -64,7 +64,7 @@ func TestPerKilo(t *testing.T) {
 	if !almost(PerKilo(5, 1000), 5) {
 		t.Errorf("PerKilo = %v", PerKilo(5, 1000))
 	}
-	if PerKilo(5, 0) != 0 {
+	if PerKilo(5, 0) != 0 { //rwplint:allow floateq — exact: zero-instruction MPKI is exactly 0
 		t.Error("PerKilo with zero instructions must be 0")
 	}
 }

@@ -1,0 +1,56 @@
+package xrand
+
+import "testing"
+
+// goldenVectors pins the first 8 SplitMix64 outputs for three seeds:
+// 0 and 1 as canonical anchors (the seed-0 sequence matches the
+// published SplitMix64 reference output), and the golden-ratio
+// increment 0x9e3779b97f4a7c15 because it is the generator's own
+// additive constant (its stream is the seed-0 stream shifted by one).
+//
+// These values must NEVER change. Every recorded table under results/
+// and every EXPERIMENTS.md number was produced by these streams; a
+// silent generator change would leave the repo claiming reproductions
+// it can no longer reproduce. If you intentionally replace the
+// generator, rename it, re-record results/, and update these vectors in
+// the same change.
+var goldenVectors = map[uint64][8]uint64{
+	0: {
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4,
+		0x06c45d188009454f, 0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b, 0x53cb9f0c747ea2ea,
+		0x2c829abe1f4532e1, 0xc584133ac916ab3c,
+	},
+	1: {
+		0x910a2dec89025cc1, 0xbeeb8da1658eec67,
+		0xf893a2eefb32555e, 0x71c18690ee42c90b,
+		0x71bb54d8d101b5b9, 0xc34d0bff90150280,
+		0xe099ec6cd7363ca5, 0x85e7bb0f12278575,
+	},
+	0x9e3779b97f4a7c15: {
+		0x6e789e6aa1b965f4, 0x06c45d188009454f,
+		0xf88bb8a8724c81ec, 0x1b39896a51a8749b,
+		0x53cb9f0c747ea2ea, 0x2c829abe1f4532e1,
+		0xc584133ac916ab3c, 0x3ee5789041c98ac3,
+	},
+}
+
+func TestGoldenVectors(t *testing.T) {
+	for seed, want := range goldenVectors {
+		rng := New(seed)
+		for i, w := range want {
+			if got := rng.Uint64(); got != w {
+				t.Errorf("seed %#x output %d = %#016x, want %#016x (RNG changed; recorded results are invalidated)", seed, i, got, w)
+			}
+		}
+	}
+}
+
+func TestZeroValueMatchesSeedZero(t *testing.T) {
+	// The documented contract: the zero value is a valid generator
+	// seeded with 0, so it must emit the seed-0 golden stream.
+	var rng RNG
+	if got, want := rng.Uint64(), goldenVectors[0][0]; got != want {
+		t.Fatalf("zero-value RNG first output = %#016x, want %#016x", got, want)
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# check.sh — the pre-PR gate. Every change must pass this locally before
+# review; CI needs nothing beyond it (the rwplint determinism suite runs
+# inside `go test` via internal/analysis/selfcheck_test.go).
+#
+#   tier-1:  go build ./... && go test ./...
+#   extras:  go vet, rwplint (explicit, for readable output), -race
+#
+# Usage: scripts/check.sh [-short]   (-short skips the -race pass)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=0
+[ "${1:-}" = "-short" ] && short=1
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go run ./cmd/rwplint ./...'
+go run ./cmd/rwplint ./...
+
+echo '>> go test ./...'
+go test ./...
+
+if [ "$short" = 0 ]; then
+    echo '>> go test -race ./...'
+    go test -race ./...
+fi
+
+echo 'check.sh: all gates passed'
