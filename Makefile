@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint check check-short exps
+.PHONY: build test lint check check-short exps bench-engine
 
 build:
 	go build ./...
@@ -26,3 +26,8 @@ check-short:
 # Regenerate the paper's tables at CI scale.
 exps:
 	go run ./cmd/rwpexp -scale quick
+
+# Measure sequential-vs-parallel wall clock of the experiment engine;
+# records results/engine_speedup.txt.
+bench-engine:
+	scripts/bench_engine.sh

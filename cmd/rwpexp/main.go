@@ -1,8 +1,16 @@
 // Command rwpexp regenerates the paper's tables and figures (E1..E11)
 // and the design-choice ablations (A1..A4). Run with -exp to select one
-// experiment or without flags for the full suite; -scale quick|full
-// trades fidelity for time; -csv writes each table as CSV into a
-// directory alongside the rendered text.
+// experiment or without flags for the full suite; -list prints the
+// experiment index; -scale quick|full trades fidelity for time; -csv
+// writes each table as CSV into a directory alongside the rendered
+// text.
+//
+// Execution goes through internal/runner's parallel engine: -j bounds
+// the worker pool (default GOMAXPROCS) and -cache-dir enables the
+// persistent result cache, so a killed run resumes with only missing
+// simulations re-executed. Tables are written to stdout and are
+// byte-identical at any -j and across warm-cache resumes; progress,
+// timing, and the engine summary go to stderr.
 package main
 
 import (
@@ -13,14 +21,26 @@ import (
 	"strings"
 
 	"rwp/internal/exps"
+	"rwp/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E11, A1..A4); empty = all")
+	list := flag.Bool("list", false, "print experiment ids and titles, then exit")
 	scale := flag.String("scale", "full", "quick|full")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSVs into")
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: full suite)")
+	jobs := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
+	verbose := flag.Bool("v", false, "print per-job progress lines to stderr")
 	flag.Parse()
+
+	if *list {
+		for _, e := range exps.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
 
 	var sc exps.Scale
 	switch *scale {
@@ -38,7 +58,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	suite := exps.NewSuite(sc)
+	eng, err := runner.New(runner.Config{
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
+		Clock:    wallClock{},
+		Observer: &jobObserver{w: os.Stderr, verbose: *verbose},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+		os.Exit(1)
+	}
+	suite := exps.NewSuiteEngine(sc, eng)
 	if *benches != "" {
 		suite.Benches = strings.Split(*benches, ",")
 	}
@@ -48,7 +78,7 @@ func main() {
 			continue
 		}
 		ran = true
-		prog := startProgress(os.Stdout, e.ID, e.Title)
+		prog := startProgress(os.Stderr, e.ID, e.Title)
 		t, err := e.Run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
@@ -78,4 +108,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "rwpexp: engine: workers=%d submitted=%d coalesced=%d executed=%d disk-hits=%d disk-puts=%d disk-errors=%d\n",
+		eng.Workers(), st.Submitted, st.Coalesced, st.Executed, st.DiskHits, st.DiskPuts, st.DiskErrors)
 }

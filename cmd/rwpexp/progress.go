@@ -3,7 +3,10 @@ package main
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
+
+	"rwp/internal/runner"
 )
 
 // progress is the experiment driver's wall-clock progress reporter.
@@ -11,7 +14,12 @@ import (
 // read the host clock: the simulator under internal/ runs purely on
 // simulated cycle counters, and the rwplint nowallclock rule keeps it
 // that way. Anything new that needs wall-clock timing belongs behind a
-// helper like this one, under cmd/.
+// helper like this one, under cmd/ — internal/runner observes per-job
+// timing only through its injected Clock interface, implemented here.
+//
+// Progress goes to stderr: stdout carries only the rendered tables, so
+// it is byte-identical across -j values, repeated runs, and warm-cache
+// resumes (timing lines would break that).
 type progress struct {
 	w     io.Writer
 	start time.Time
@@ -26,5 +34,41 @@ func startProgress(w io.Writer, id, title string) *progress {
 // done reports the experiment's wall-clock duration, rounded for
 // humans (results never include wall time; it is presentation only).
 func (p *progress) done(id string) {
-	fmt.Fprintf(p.w, "(%s in %v)\n\n", id, time.Since(p.start).Round(time.Millisecond))
+	fmt.Fprintf(p.w, "(%s in %v)\n", id, time.Since(p.start).Round(time.Millisecond))
+}
+
+// wallClock implements runner.Clock with the host clock. Job timing is
+// observability only — results never depend on it.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// jobObserver prints per-job progress lines (enabled by -v). The
+// engine calls it from worker goroutines, so writes are serialized.
+type jobObserver struct {
+	mu      sync.Mutex
+	w       io.Writer
+	verbose bool
+}
+
+func (o *jobObserver) JobStart(k runner.Key) {
+	if !o.verbose {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fmt.Fprintf(o.w, "  run   %s\n", k)
+}
+
+func (o *jobObserver) JobDone(k runner.Key, d time.Duration, fromCache bool) {
+	if !o.verbose {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	src := "computed"
+	if fromCache {
+		src = "cache hit"
+	}
+	fmt.Fprintf(o.w, "  done  %s (%s, %v)\n", k, src, d.Round(time.Millisecond))
 }

@@ -2,6 +2,8 @@ package exps
 
 import (
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -30,17 +32,31 @@ type A4Result struct {
 // A4 runs the comparison.
 func (s *Suite) A4() (*report.Table, A4Result, error) {
 	var res A4Result
-	var spW, spB []float64
+	type plan struct {
+		bench         string
+		lru, rwp, byp *runner.Future[sim.Result]
+	}
+	var plans []plan
 	for _, bench := range s.sensitive() {
-		lru, err := s.runSingle(bench, "lru", 0, 0)
+		plans = append(plans, plan{
+			bench: bench,
+			lru:   s.planSingle(bench, "lru", 0, 0),
+			rwp:   s.planSingle(bench, "rwp", 0, 0),
+			byp:   s.planSingle(bench, "rwpb", 0, 0),
+		})
+	}
+	var spW, spB []float64
+	for _, p := range plans {
+		bench := p.bench
+		lru, err := p.lru.Wait()
 		if err != nil {
 			return nil, res, err
 		}
-		w, err := s.runSingle(bench, "rwp", 0, 0)
+		w, err := p.rwp.Wait()
 		if err != nil {
 			return nil, res, err
 		}
-		b, err := s.runSingle(bench, "rwpb", 0, 0)
+		b, err := p.byp.Wait()
 		if err != nil {
 			return nil, res, err
 		}

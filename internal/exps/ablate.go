@@ -7,6 +7,8 @@ import (
 	"rwp/internal/core"
 	"rwp/internal/policy"
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -56,16 +58,40 @@ func init() {
 	}
 }
 
-// geoOverLRU computes the geomean speedup of a policy over LRU across
-// the sensitive set, reusing memoized LRU baselines.
-func (s *Suite) geoOverLRU(policyName string) (float64, error) {
-	var sp []float64
+// geoPlan is one policy's planned sensitive-set sweep: futures for the
+// policy and LRU-baseline runs, collected later in bench order. The
+// shared LRU baselines coalesce in the engine across every variant of
+// an ablation, so planning all variants before collecting any lets the
+// whole sweep execute in parallel.
+type geoPlan struct {
+	pairs []geoPair
+}
+
+type geoPair struct {
+	lru, pol *runner.Future[sim.Result]
+}
+
+// planGeoOverLRU enqueues a policy's sensitive-set runs.
+func (s *Suite) planGeoOverLRU(policyName string) *geoPlan {
+	p := &geoPlan{}
 	for _, bench := range s.sensitive() {
-		lru, err := s.runSingle(bench, "lru", 0, 0)
+		p.pairs = append(p.pairs, geoPair{
+			lru: s.planSingle(bench, "lru", 0, 0),
+			pol: s.planSingle(bench, policyName, 0, 0),
+		})
+	}
+	return p
+}
+
+// geo collects the planned runs into a geomean speedup over LRU.
+func (p *geoPlan) geo() (float64, error) {
+	var sp []float64
+	for _, pr := range p.pairs {
+		lru, err := pr.lru.Wait()
 		if err != nil {
 			return 0, err
 		}
-		r, err := s.runSingle(bench, policyName, 0, 0)
+		r, err := pr.pol.Wait()
 		if err != nil {
 			return 0, err
 		}
@@ -89,8 +115,13 @@ type A1Result struct {
 // different partition, per E8).
 func (s *Suite) A1() (*report.Table, A1Result, error) {
 	res := A1Result{StaticGeo: make(map[int]float64)}
+	staticPlans := make(map[int]*geoPlan)
 	for _, d := range a1StaticTargets {
-		g, err := s.geoOverLRU(fmt.Sprintf("rwp-static-%d", d))
+		staticPlans[d] = s.planGeoOverLRU(fmt.Sprintf("rwp-static-%d", d))
+	}
+	dynPlan := s.planGeoOverLRU("rwp")
+	for _, d := range a1StaticTargets {
+		g, err := staticPlans[d].geo()
 		if err != nil {
 			return nil, res, err
 		}
@@ -99,7 +130,7 @@ func (s *Suite) A1() (*report.Table, A1Result, error) {
 			res.BestStatic = g
 		}
 	}
-	g, err := s.geoOverLRU("rwp")
+	g, err := dynPlan.geo()
 	if err != nil {
 		return nil, res, err
 	}
@@ -126,8 +157,12 @@ type A2Result struct {
 // A2 — how many shadow sets does the predictor need?
 func (s *Suite) A2() (*report.Table, A2Result, error) {
 	res := A2Result{Geo: make(map[int]float64)}
+	plans := make(map[int]*geoPlan)
 	for _, n := range a2SamplerCounts {
-		g, err := s.geoOverLRU(fmt.Sprintf("rwp-samp-%d", n))
+		plans[n] = s.planGeoOverLRU(fmt.Sprintf("rwp-samp-%d", n))
+	}
+	for _, n := range a2SamplerCounts {
+		g, err := plans[n].geo()
 		if err != nil {
 			return nil, res, err
 		}
@@ -155,15 +190,23 @@ func (s *Suite) A3() (*report.Table, A3Result, error) {
 		IntervalGeo: make(map[uint64]float64),
 		DecayGeo:    make(map[uint]float64),
 	}
+	ivPlans := make(map[uint64]*geoPlan)
 	for _, iv := range a3Intervals {
-		g, err := s.geoOverLRU(fmt.Sprintf("rwp-int-%d", iv/1000))
+		ivPlans[iv] = s.planGeoOverLRU(fmt.Sprintf("rwp-int-%d", iv/1000))
+	}
+	dcPlans := make(map[uint]*geoPlan)
+	for _, dc := range a3Decays {
+		dcPlans[dc] = s.planGeoOverLRU(fmt.Sprintf("rwp-decay-%d", dc))
+	}
+	for _, iv := range a3Intervals {
+		g, err := ivPlans[iv].geo()
 		if err != nil {
 			return nil, res, err
 		}
 		res.IntervalGeo[iv] = g
 	}
 	for _, dc := range a3Decays {
-		g, err := s.geoOverLRU(fmt.Sprintf("rwp-decay-%d", dc))
+		g, err := dcPlans[dc].geo()
 		if err != nil {
 			return nil, res, err
 		}

@@ -5,6 +5,7 @@ import (
 	"rwp/internal/hier"
 	"rwp/internal/policy"
 	"rwp/internal/report"
+	"rwp/internal/runner"
 	"rwp/internal/workload"
 )
 
@@ -93,26 +94,40 @@ func init() {
 	policy.Register("e1-classifier", func() cache.Policy { return &lineClassifier{} })
 }
 
-// E1 runs the classification over every benchmark.
-func (s *Suite) E1() (*report.Table, E1Result, error) {
-	var res E1Result
-	for _, bench := range s.allBenches() {
+// e1Out is one benchmark's eviction-class counts (the cached result of
+// the "e1" job kind).
+type e1Out struct {
+	ReadOnly  uint64
+	ReadWrite uint64
+	WriteOnly uint64
+}
+
+// planE1 enqueues one benchmark's classification run.
+func (s *Suite) planE1(bench string, total uint64) *runner.Future[e1Out] {
+	cfg := hier.DefaultConfig()
+	cfg.LLCPolicy = "e1-classifier"
+	key, err := runner.NewKey("e1", bench, struct {
+		Bench string
+		Total uint64
+		Cfg   hier.Config
+	}{bench, total, cfg})
+	if err != nil {
+		return runner.Failed[e1Out](err)
+	}
+	return runner.Submit(s.Eng, key, func() (e1Out, error) {
 		prof, err := workload.Get(bench)
 		if err != nil {
-			return nil, res, err
+			return e1Out{}, err
 		}
-		cfg := hier.DefaultConfig()
-		cfg.LLCPolicy = "e1-classifier"
 		h, err := hier.New(cfg)
 		if err != nil {
-			return nil, res, err
+			return e1Out{}, err
 		}
 		src := prof.NewSource()
-		total := s.Scale.Warmup + s.Scale.Measure
 		for i := uint64(0); i < total; i++ {
 			a, err := src.Next()
 			if err != nil {
-				return nil, res, err
+				return e1Out{}, err
 			}
 			if a.Kind.IsRead() {
 				h.Load(0, i, a.Addr, a.PC)
@@ -121,12 +136,29 @@ func (s *Suite) E1() (*report.Table, E1Result, error) {
 			}
 		}
 		cl := h.LLC().Policy().(*lineClassifier)
-		ev := cl.readOnly + cl.readWrite + cl.writeOnly
+		return e1Out{ReadOnly: cl.readOnly, ReadWrite: cl.readWrite, WriteOnly: cl.writeOnly}, nil
+	})
+}
+
+// E1 runs the classification over every benchmark.
+func (s *Suite) E1() (*report.Table, E1Result, error) {
+	var res E1Result
+	total := s.Scale.Warmup + s.Scale.Measure
+	futs := make([]*runner.Future[e1Out], 0, len(s.allBenches()))
+	for _, bench := range s.allBenches() {
+		futs = append(futs, s.planE1(bench, total))
+	}
+	for i, bench := range s.allBenches() {
+		cl, err := futs[i].Wait()
+		if err != nil {
+			return nil, res, err
+		}
+		ev := cl.ReadOnly + cl.ReadWrite + cl.WriteOnly
 		row := E1Row{Bench: bench, Evicted: ev}
 		if ev > 0 {
-			row.ReadOnly = float64(cl.readOnly) / float64(ev)
-			row.ReadWrite = float64(cl.readWrite) / float64(ev)
-			row.WriteOnly = float64(cl.writeOnly) / float64(ev)
+			row.ReadOnly = float64(cl.ReadOnly) / float64(ev)
+			row.ReadWrite = float64(cl.ReadWrite) / float64(ev)
+			row.WriteOnly = float64(cl.WriteOnly) / float64(ev)
 		}
 		res.Rows = append(res.Rows, row)
 		res.MeanWriteOnly += row.WriteOnly

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -25,14 +27,25 @@ type E10Result struct {
 // E10 runs the sweep.
 func (s *Suite) E10() (*report.Table, E10Result, error) {
 	var res E10Result
-	for _, ways := range []int{8, 16, 32} {
-		var sp []float64
+	waysSweep := []int{8, 16, 32}
+	type pair struct{ lru, rwp *runner.Future[sim.Result] }
+	plans := make(map[int][]pair)
+	for _, ways := range waysSweep {
 		for _, bench := range s.sensitive() {
-			lru, err := s.runSingle(bench, "lru", 0, ways)
+			plans[ways] = append(plans[ways], pair{
+				lru: s.planSingle(bench, "lru", 0, ways),
+				rwp: s.planSingle(bench, "rwp", 0, ways),
+			})
+		}
+	}
+	for _, ways := range waysSweep {
+		var sp []float64
+		for _, p := range plans[ways] {
+			lru, err := p.lru.Wait()
 			if err != nil {
 				return nil, res, err
 			}
-			rwp, err := s.runSingle(bench, "rwp", 0, ways)
+			rwp, err := p.rwp.Wait()
 			if err != nil {
 				return nil, res, err
 			}

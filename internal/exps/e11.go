@@ -5,6 +5,7 @@ import (
 
 	"rwp/internal/hier"
 	"rwp/internal/report"
+	"rwp/internal/runner"
 	"rwp/internal/sim"
 	"rwp/internal/workload"
 	"rwp/internal/xrand"
@@ -92,33 +93,45 @@ func (s *Suite) E11() (*report.Table, E11Result, error) {
 	if mixesPer > 4 {
 		mixesPer = 4
 	}
-	for _, cores := range []int{2, 4, 8} {
-		var ratios []float64
+	coreCounts := []int{2, 4, 8}
+	// Plan: the mixes are drawn first (one shared rng stream, so the
+	// draw order — and therefore the mixes — match the sequential path
+	// exactly), then every (mix, policy) run is enqueued.
+	type mixPlan struct {
+		mix      []string
+		lru, rwp *runner.Future[sim.MultiResult]
+	}
+	plans := make(map[int][]mixPlan)
+	for _, cores := range coreCounts {
 		for m := 0; m < mixesPer; m++ {
 			mix := s.e11DrawMix(rng, cores)
-			profs := make([]workload.Profile, len(mix))
-			for i, b := range mix {
-				p, err := workload.Get(b)
-				if err != nil {
-					return nil, res, err
-				}
-				profs[i] = p
-			}
 			opt := sim.DefaultOptions()
 			opt.Hier = hier.MulticoreConfig(cores)
 			opt.Hier.LLC.SizeBytes = cores << 20 // 1 MiB per core
 			opt.Warmup = s.Scale.Warmup
 			opt.Measure = s.Scale.Measure
-			var tp [2]float64
-			for i, pol := range []string{"lru", "rwp"} {
-				opt.Hier.LLCPolicy = pol
-				mr, err := sim.RunMulti(profs, opt)
-				if err != nil {
-					return nil, res, fmt.Errorf("exps: E11 %d-core mix %v: %w", cores, mix, err)
-				}
-				tp[i] = mr.Throughput()
+			optLRU, optRWP := opt, opt
+			optLRU.Hier.LLCPolicy = "lru"
+			optRWP.Hier.LLCPolicy = "rwp"
+			plans[cores] = append(plans[cores], mixPlan{
+				mix: mix,
+				lru: s.Eng.Multi(mix, optLRU),
+				rwp: s.Eng.Multi(mix, optRWP),
+			})
+		}
+	}
+	for _, cores := range coreCounts {
+		var ratios []float64
+		for _, mp := range plans[cores] {
+			lru, err := mp.lru.Wait()
+			if err != nil {
+				return nil, res, fmt.Errorf("exps: E11 %d-core mix %v: %w", cores, mp.mix, err)
 			}
-			ratios = append(ratios, tp[1]/tp[0])
+			rwp, err := mp.rwp.Wait()
+			if err != nil {
+				return nil, res, fmt.Errorf("exps: E11 %d-core mix %v: %w", cores, mp.mix, err)
+			}
+			ratios = append(ratios, rwp.Throughput()/lru.Throughput())
 		}
 		sum := 0.0
 		for _, r := range ratios {

@@ -2,6 +2,8 @@ package exps
 
 import (
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -38,13 +40,28 @@ func (s *Suite) E3() (*report.Table, E3Result, error) {
 	for _, n := range s.sensitive() {
 		sens[n] = true
 	}
-	var all, sensOnly, insens []float64
+	// Plan: enqueue the whole run set before collecting anything.
+	type plan struct {
+		bench    string
+		lru, rwp *runner.Future[sim.Result]
+	}
+	var plans []plan
 	for _, bench := range s.allBenches() {
-		lru, err := s.runSingle(bench, "lru", 0, 0)
+		plans = append(plans, plan{
+			bench: bench,
+			lru:   s.planSingle(bench, "lru", 0, 0),
+			rwp:   s.planSingle(bench, "rwp", 0, 0),
+		})
+	}
+	// Collect in the deterministic bench order, never completion order.
+	var all, sensOnly, insens []float64
+	for _, p := range plans {
+		bench := p.bench
+		lru, err := p.lru.Wait()
 		if err != nil {
 			return nil, res, err
 		}
-		rwp, err := s.runSingle(bench, "rwp", 0, 0)
+		rwp, err := p.rwp.Wait()
 		if err != nil {
 			return nil, res, err
 		}

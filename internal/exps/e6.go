@@ -2,6 +2,8 @@ package exps
 
 import (
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -24,14 +26,24 @@ type E6Result struct {
 func (s *Suite) E6() (*report.Table, E6Result, error) {
 	var res E6Result
 	sizes := []int{1 << 20, 2 << 20, 4 << 20, 8 << 20}
+	type pair struct{ lru, rwp *runner.Future[sim.Result] }
+	plans := make(map[int][]pair)
+	for _, size := range sizes {
+		for _, bench := range s.sensitive() {
+			plans[size] = append(plans[size], pair{
+				lru: s.planSingle(bench, "lru", size, 0),
+				rwp: s.planSingle(bench, "rwp", size, 0),
+			})
+		}
+	}
 	for _, size := range sizes {
 		var sp []float64
-		for _, bench := range s.sensitive() {
-			lru, err := s.runSingle(bench, "lru", size, 0)
+		for _, p := range plans[size] {
+			lru, err := p.lru.Wait()
 			if err != nil {
 				return nil, res, err
 			}
-			rwp, err := s.runSingle(bench, "rwp", size, 0)
+			rwp, err := p.rwp.Wait()
 			if err != nil {
 				return nil, res, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rwp/internal/report"
+	"rwp/internal/runner"
 	"rwp/internal/sim"
 	"rwp/internal/stats"
 	"rwp/internal/workload"
@@ -100,14 +101,10 @@ func (s *Suite) e7DrawMixes(n int) [][]string {
 	return mixes
 }
 
-// e7Alone computes (and memoizes through the Suite run cache) each
-// benchmark's solo IPC on the shared-LLC geometry under LRU.
-func (s *Suite) e7Alone(bench string) (float64, error) {
-	r, err := s.runSingle(bench, "lru", 4<<20, 0)
-	if err != nil {
-		return 0, err
-	}
-	return r.IPC, nil
+// e7PlanAlone enqueues a benchmark's solo run on the shared-LLC
+// geometry under LRU; the engine coalesces the job across mixes.
+func (s *Suite) e7PlanAlone(bench string) *runner.Future[sim.Result] {
+	return s.planSingle(bench, "lru", 4<<20, 0)
 }
 
 // E7 runs the multiprogrammed comparison.
@@ -117,20 +114,32 @@ func (s *Suite) E7() (*report.Table, E7Result, error) {
 		MeanWeightedVsLRU:   make(map[string]float64),
 	}
 	mixes := s.e7DrawMixes(s.Scale.Mixes)
-	for _, mix := range mixes {
-		profs := make([]workload.Profile, len(mix))
+	// Plan: every solo baseline and every (mix, policy) 4-core run is
+	// enqueued before anything is collected.
+	type mixPlan struct {
+		alone []*runner.Future[sim.Result]
+		runs  map[string]*runner.Future[sim.MultiResult]
+	}
+	plans := make([]mixPlan, len(mixes))
+	for mi, mix := range mixes {
+		mp := mixPlan{runs: make(map[string]*runner.Future[sim.MultiResult])}
+		for _, b := range mix {
+			mp.alone = append(mp.alone, s.e7PlanAlone(b))
+		}
+		for _, pol := range E7Policies {
+			mp.runs[pol] = s.planMulti(mix, pol, 4)
+		}
+		plans[mi] = mp
+	}
+	// Collect in mix order.
+	for mi, mix := range mixes {
 		alone := make([]float64, len(mix))
-		for i, b := range mix {
-			p, err := workload.Get(b)
+		for i := range mix {
+			a, err := plans[mi].alone[i].Wait()
 			if err != nil {
 				return nil, res, err
 			}
-			profs[i] = p
-			a, err := s.e7Alone(b)
-			if err != nil {
-				return nil, res, err
-			}
-			alone[i] = a
+			alone[i] = a.IPC
 		}
 		m := E7Mix{
 			Benches:    mix,
@@ -138,7 +147,7 @@ func (s *Suite) E7() (*report.Table, E7Result, error) {
 			Weighted:   make(map[string]float64),
 		}
 		for _, pol := range E7Policies {
-			mr, err := sim.RunMulti(profs, s.multiOptions(pol, 4))
+			mr, err := plans[mi].runs[pol].Wait()
 			if err != nil {
 				return nil, res, fmt.Errorf("exps: E7 mix %v policy %s: %w", mix, pol, err)
 			}

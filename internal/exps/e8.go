@@ -2,10 +2,12 @@ package exps
 
 import (
 	"fmt"
+	"strings"
 
 	"rwp/internal/core"
 	"rwp/internal/hier"
 	"rwp/internal/report"
+	"rwp/internal/runner"
 	"rwp/internal/workload"
 )
 
@@ -45,38 +47,79 @@ func e8Feed(h *hier.Hierarchy, src *workload.Source, n uint64, now *uint64) erro
 	return nil
 }
 
+// e8FeedOut is one feed job's recorded predictor behavior (the cached
+// result type of the "e8feed" job kind).
+type e8FeedOut struct {
+	// History is the dirty-target trajectory across all phases.
+	History []int
+	// Cut is the history length after the first phase.
+	Cut int
+	// Target is the final dirty target (for runs too short to record
+	// any interval).
+	Target int
+}
+
+// planE8Feed enqueues one feed job: each named profile is streamed n
+// accesses, in order, through one fresh RWP hierarchy.
+func (s *Suite) planE8Feed(cfg hier.Config, phases []string, n uint64) *runner.Future[e8FeedOut] {
+	key, err := runner.NewKey("e8feed", strings.Join(phases, "+"), struct {
+		Phases []string
+		N      uint64
+		Cfg    hier.Config
+	}{phases, n, cfg})
+	if err != nil {
+		return runner.Failed[e8FeedOut](err)
+	}
+	return runner.Submit(s.Eng, key, func() (e8FeedOut, error) {
+		h, err := hier.New(cfg)
+		if err != nil {
+			return e8FeedOut{}, err
+		}
+		rwp, ok := h.LLC().Policy().(*core.RWP)
+		if !ok {
+			return e8FeedOut{}, fmt.Errorf("exps: LLC policy is not RWP")
+		}
+		var out e8FeedOut
+		now := uint64(0)
+		for i, name := range phases {
+			prof, err := workload.Get(name)
+			if err != nil {
+				return e8FeedOut{}, err
+			}
+			if err := e8Feed(h, prof.NewSource(), n, &now); err != nil {
+				return e8FeedOut{}, err
+			}
+			if i == 0 {
+				out.Cut = len(rwp.History())
+			}
+		}
+		out.History = rwp.History()
+		out.Target = rwp.TargetDirty()
+		return out, nil
+	})
+}
+
 // E8 runs the dynamics experiment.
 func (s *Suite) E8() (*report.Table, E8Result, error) {
 	res := E8Result{PerBench: make(map[string]float64)}
 
-	// Two-phase composite.
+	// Plan: the two-phase composite plus every per-benchmark feed.
 	cfg := hier.DefaultConfig()
 	cfg.LLCPolicy = "rwp"
-	h, err := hier.New(cfg)
+	composite := s.planE8Feed(cfg, []string{"cactusADM", "mcf"}, s.Scale.E8Phase)
+	res.BenchOrder = []string{"cactusADM", "GemsFDTD", "mcf", "sphinx3", "lbm", "povray"}
+	perBench := make([]*runner.Future[e8FeedOut], len(res.BenchOrder))
+	for i, bench := range res.BenchOrder {
+		perBench[i] = s.planE8Feed(cfg, []string{bench}, s.Scale.E8Phase)
+	}
+
+	// Collect: composite phase means first.
+	comp, err := composite.Wait()
 	if err != nil {
 		return nil, res, err
 	}
-	rwp, ok := h.LLC().Policy().(*core.RWP)
-	if !ok {
-		return nil, res, fmt.Errorf("exps: LLC policy is not RWP")
-	}
-	dirtyPhase, err := workload.Get("cactusADM")
-	if err != nil {
-		return nil, res, err
-	}
-	cleanPhase, err := workload.Get("mcf")
-	if err != nil {
-		return nil, res, err
-	}
-	now := uint64(0)
-	if err := e8Feed(h, dirtyPhase.NewSource(), s.Scale.E8Phase, &now); err != nil {
-		return nil, res, err
-	}
-	cut := len(rwp.History())
-	if err := e8Feed(h, cleanPhase.NewSource(), s.Scale.E8Phase, &now); err != nil {
-		return nil, res, err
-	}
-	res.History = rwp.History()
+	res.History = comp.History
+	cut := comp.Cut
 	if cut == 0 || cut >= len(res.History) {
 		return nil, res, fmt.Errorf("exps: E8 needs intervals in both phases (cut=%d, total=%d); increase E8Phase", cut, len(res.History))
 	}
@@ -91,29 +134,18 @@ func (s *Suite) E8() (*report.Table, E8Result, error) {
 	res.Phase2Mean /= float64(len(res.History) - cut)
 
 	// Per-benchmark steady-state targets for representative profiles.
-	res.BenchOrder = []string{"cactusADM", "GemsFDTD", "mcf", "sphinx3", "lbm", "povray"}
-	for _, bench := range res.BenchOrder {
-		prof, err := workload.Get(bench)
+	for i, bench := range res.BenchOrder {
+		out, err := perBench[i].Wait()
 		if err != nil {
 			return nil, res, err
 		}
-		hb, err := hier.New(cfg)
-		if err != nil {
-			return nil, res, err
-		}
-		rb := hb.LLC().Policy().(*core.RWP)
-		n := uint64(0)
-		if err := e8Feed(hb, prof.NewSource(), s.Scale.E8Phase, &n); err != nil {
-			return nil, res, err
-		}
-		hist := rb.History()
-		if len(hist) == 0 {
-			res.PerBench[bench] = float64(rb.TargetDirty())
+		if len(out.History) == 0 {
+			res.PerBench[bench] = float64(out.Target)
 			continue
 		}
 		// Mean over the second half (steady state).
 		sum, cnt := 0.0, 0
-		for _, d := range hist[len(hist)/2:] {
+		for _, d := range out.History[len(out.History)/2:] {
 			sum += float64(d)
 			cnt++
 		}

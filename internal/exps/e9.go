@@ -2,6 +2,8 @@ package exps
 
 import (
 	"rwp/internal/report"
+	"rwp/internal/runner"
+	"rwp/internal/sim"
 	"rwp/internal/stats"
 )
 
@@ -28,13 +30,26 @@ type E9Result struct {
 // E9 runs the comparison.
 func (s *Suite) E9() (*report.Table, E9Result, error) {
 	var res E9Result
-	var ratios []float64
+	type plan struct {
+		bench    string
+		lru, rwp *runner.Future[sim.Result]
+	}
+	var plans []plan
 	for _, bench := range s.allBenches() {
-		lru, err := s.runSingle(bench, "lru", 0, 0)
+		plans = append(plans, plan{
+			bench: bench,
+			lru:   s.planSingle(bench, "lru", 0, 0),
+			rwp:   s.planSingle(bench, "rwp", 0, 0),
+		})
+	}
+	var ratios []float64
+	for _, p := range plans {
+		bench := p.bench
+		lru, err := p.lru.Wait()
 		if err != nil {
 			return nil, res, err
 		}
-		rwp, err := s.runSingle(bench, "rwp", 0, 0)
+		rwp, err := p.rwp.Wait()
 		if err != nil {
 			return nil, res, err
 		}

@@ -200,8 +200,12 @@ func TestRunnerMemoizes(t *testing.T) {
 	if a != b {
 		t.Fatal("memoized run differs")
 	}
-	if len(s.runs) != 1 {
-		t.Fatalf("cache holds %d entries, want 1", len(s.runs))
+	st := s.Eng.Stats()
+	if st.Executed != 1 {
+		t.Fatalf("engine executed %d jobs, want 1 (duplicate must coalesce)", st.Executed)
+	}
+	if st.Coalesced != 1 {
+		t.Fatalf("engine coalesced %d submissions, want 1", st.Coalesced)
 	}
 }
 

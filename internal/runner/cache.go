@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed on-disk result store. An entry's file
+// name is its job key's hash, so a key change is automatically a miss;
+// the envelope carries the schema salt and a payload checksum, so a
+// version bump, a torn write, or bit rot is detected on read and the
+// entry is recomputed — a cached value is never trusted on faith.
+//
+// Writes are crash-safe: the envelope is written to a temp file in the
+// same directory and atomically renamed into place, so a killed run
+// leaves either the old entry, the new entry, or a stray temp file —
+// never a half-written entry that parses.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	// Salt is the SchemaSalt the entry was written under.
+	Salt string `json:"salt"`
+	// Kind is the job kind (redundant with the file name, kept for
+	// debuggability of a cache directory).
+	Kind string `json:"kind"`
+	// Desc is the human-readable job description.
+	Desc string `json:"desc"`
+	// Sum is the hex SHA-256 of Payload.
+	Sum string `json:"sum"`
+	// Payload is the JSON-encoded job result.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Path returns the entry file for a key.
+func (c *Cache) Path(k Key) string {
+	return filepath.Join(c.dir, k.kind+"-"+k.id+".json")
+}
+
+// Get returns the validated payload for a key. Any defect — missing
+// file, unparsable envelope, salt or kind mismatch, checksum mismatch —
+// is a miss; defective entries are removed so the recompute's Put
+// replaces them.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	path := c.Path(k)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		os.Remove(path)
+		return nil, false
+	}
+	if env.Salt != SchemaSalt || env.Kind != k.kind {
+		os.Remove(path)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		os.Remove(path)
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// Put durably stores a payload for a key via temp file + atomic rename.
+func (c *Cache) Put(k Key, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	env := envelope{
+		Salt:    SchemaSalt,
+		Kind:    k.kind,
+		Desc:    k.desc,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache entry %s: %w", k, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache write %s: %w", k, err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write %s: %w", k, werr)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write %s: %w", k, err)
+	}
+	return nil
+}

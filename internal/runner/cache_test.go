@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rwp/internal/sim"
+)
+
+func testKey(t *testing.T) Key {
+	t.Helper()
+	k, err := NewKey("t", "unit", struct{ A int }{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	payload := []byte(`{"x":1,"y":"z"}`)
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+}
+
+// corrupt rewrites a cache entry through f (or deletes the trailing
+// half, for f == nil with truncate).
+func corruptEntry(t *testing.T, c *Cache, k Key, f func([]byte) []byte) {
+	t.Helper()
+	path := c.Path(k)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheRejectsTruncation(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t)
+	if err := c.Put(k, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, c, k, func(b []byte) []byte { return b[:len(b)/2] })
+	if _, ok := c.Get(k); ok {
+		t.Fatal("truncated entry served")
+	}
+	if _, err := os.Stat(c.Path(k)); !os.IsNotExist(err) {
+		t.Fatal("defective entry not removed")
+	}
+}
+
+func TestCacheRejectsBitFlip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t)
+	if err := c.Put(k, []byte(`{"x":12345}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the payload: the envelope still parses, only
+	// the checksum can catch it.
+	corruptEntry(t, c, k, func(b []byte) []byte {
+		return []byte(strings.Replace(string(b), "12345", "12845", 1))
+	})
+	if _, ok := c.Get(k); ok {
+		t.Fatal("bit-flipped entry served")
+	}
+}
+
+func TestCacheRejectsSaltMismatch(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t)
+	if err := c.Put(k, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the envelope under a flipped schema salt with a valid
+	// checksum: only the salt check can reject it.
+	corruptEntry(t, c, k, func(b []byte) []byte {
+		var env envelope
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Salt = SchemaSalt + "-stale"
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale-salt entry served")
+	}
+}
+
+// TestEngineRecomputesDefectiveEntries is the satellite robustness
+// check end to end: a sim.Result round-trips through the disk cache,
+// and a truncated, bit-flipped, or version-mismatched entry is
+// silently recomputed — never a wrong cached result, never a crash.
+func TestEngineRecomputesDefectiveEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	opt := fastOptions("rwp")
+	run := func() (sim.Result, Stats) {
+		e, err := New(Config{Workers: 2, CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Single("sphinx3", opt).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, e.Stats()
+	}
+	want, st := run()
+	if st.Executed != 1 || st.DiskPuts != 1 {
+		t.Fatalf("cold run stats %+v", st)
+	}
+	// Warm: served from disk, bit-identical.
+	got, st := run()
+	if st.Executed != 0 || st.DiskHits != 1 {
+		t.Fatalf("warm run stats %+v", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk round-trip changed the result:\n  want %+v\n  got  %+v", want, got)
+	}
+
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := NewKey("single", "", singlePayload{Bench: "sphinx3", Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defects := []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"truncation", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"garbage", func(b []byte) []byte { return []byte("not json at all") }},
+		{"salt flip", func(b []byte) []byte {
+			var env envelope
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatal(err)
+			}
+			env.Salt = "rwp-runner-v0"
+			out, err := json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+	}
+	for _, d := range defects {
+		corruptEntry(t, cache, key, d.f)
+		got, st := run()
+		if st.Executed != 1 {
+			t.Fatalf("%s: executed %d jobs, want 1 (defect must force recompute)", d.name, st.Executed)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: recomputed result differs", d.name)
+		}
+		// The recompute must have repaired the entry.
+		got, st = run()
+		if st.Executed != 0 || st.DiskHits != 1 {
+			t.Fatalf("%s: repaired entry not served (stats %+v)", d.name, st)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: repaired entry differs", d.name)
+		}
+	}
+}

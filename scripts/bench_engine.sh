@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# bench_engine.sh — measure the experiment engine's parallel speedup:
+# the full quick-scale suite at -j 1 vs -j $(nproc), cold cache both
+# times, wall-clock only (results are byte-identical by construction —
+# verified here with cmp as a bonus). Writes results/engine_speedup.txt.
+#
+# Usage: scripts/bench_engine.sh [jobs]   (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+out=results/engine_speedup.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# Build once so `go run` startup cost doesn't pollute either timing.
+go build -o "$work/rwpexp" ./cmd/rwpexp
+
+echo ">> rwpexp -scale quick -j 1"
+s=$(date +%s)
+"$work/rwpexp" -scale quick -j 1 >"$work/j1.out" 2>/dev/null
+t1=$(( $(date +%s) - s ))
+
+echo ">> rwpexp -scale quick -j $jobs"
+s=$(date +%s)
+"$work/rwpexp" -scale quick -j "$jobs" >"$work/jN.out" 2>/dev/null
+tN=$(( $(date +%s) - s ))
+
+cmp "$work/j1.out" "$work/jN.out" || {
+    echo "bench_engine.sh: FAIL: -j 1 and -j $jobs stdout differ" >&2
+    exit 1
+}
+
+{
+    echo "# engine speedup: cmd/rwpexp -scale quick, full suite, cold cache"
+    echo "# host: $(uname -sm), $(nproc 2>/dev/null || echo '?') CPUs, go $(go env GOVERSION)"
+    echo "-j 1      ${t1}s"
+    echo "-j $jobs      ${tN}s"
+    awk -v a="$t1" -v b="$tN" 'BEGIN {
+        if (b > 0) printf "speedup   %.2fx\n", a / b
+        else       print  "speedup   (run too fast to time at 1s resolution)"
+    }'
+    echo "stdout    byte-identical across -j values (cmp)"
+} | tee "$out"

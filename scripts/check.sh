@@ -31,4 +31,25 @@ if [ "$short" = 0 ]; then
     go test -race ./...
 fi
 
+# Engine smoke: run one experiment twice against the same cache dir.
+# The second run must be a pure cache replay (executed=0) and its
+# stdout must be byte-identical to the first — the parallel engine's
+# user-facing contract, end to end through the real binary.
+echo '>> engine smoke: warm-cache resume is a byte-identical replay'
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/rwpexp -scale quick -exp E3 -j 4 -cache-dir "$smoke/cache" \
+    >"$smoke/cold.out" 2>"$smoke/cold.err"
+go run ./cmd/rwpexp -scale quick -exp E3 -j 4 -cache-dir "$smoke/cache" \
+    >"$smoke/warm.out" 2>"$smoke/warm.err"
+cmp "$smoke/cold.out" "$smoke/warm.out" || {
+    echo 'check.sh: FAIL: warm-cache stdout differs from cold run' >&2
+    exit 1
+}
+grep -q 'engine: .* executed=0 ' "$smoke/warm.err" || {
+    echo 'check.sh: FAIL: warm-cache run re-executed jobs:' >&2
+    grep 'engine:' "$smoke/warm.err" >&2 || true
+    exit 1
+}
+
 echo 'check.sh: all gates passed'
