@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint check check-short exps bench-engine
+.PHONY: build test lint check check-short cover exps bench-engine
 
 build:
 	go build ./...
@@ -22,6 +22,12 @@ check:
 # Same gate without the -race pass (for quick iteration).
 check-short:
 	scripts/check.sh -short
+
+# Per-package statement coverage, recorded in results/coverage.txt so
+# coverage drift shows up in review diffs.
+cover:
+	mkdir -p results
+	go test -cover ./... | tee results/coverage.txt
 
 # Regenerate the paper's tables at CI scale.
 exps:

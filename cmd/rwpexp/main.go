@@ -11,6 +11,12 @@
 // simulations re-executed. Tables are written to stdout and are
 // byte-identical at any -j and across warm-cache resumes; progress,
 // timing, and the engine summary go to stderr.
+//
+// Observability: -metrics-dir makes every simulation job write a
+// canonical JSONL run journal (internal/probe) next to nothing else —
+// one file per job, content-addressed like the result cache; load them
+// with cmd/rwpstat. -pprof serves net/http/pprof; -cpuprofile and
+// -memprofile write one-shot dumps for `go tool pprof`.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"rwp/internal/exps"
 	"rwp/internal/runner"
@@ -32,6 +39,11 @@ func main() {
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: full suite)")
 	jobs := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
+	metricsDir := flag.String("metrics-dir", "", "directory for per-job run journals (empty = no journals)")
+	probeWindow := flag.Uint64("probe-window", 0, "journal interval width in measured accesses (0 = default)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := flag.Bool("v", false, "print per-job progress lines to stderr")
 	flag.Parse()
 
@@ -58,11 +70,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *pprofAddr != "" {
+		startPprofServer(*pprofAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+			}
+		}()
+	}
+
 	eng, err := runner.New(runner.Config{
-		Workers:  *jobs,
-		CacheDir: *cacheDir,
-		Clock:    wallClock{},
-		Observer: &jobObserver{w: os.Stderr, verbose: *verbose},
+		Workers:     *jobs,
+		CacheDir:    *cacheDir,
+		MetricsDir:  *metricsDir,
+		ProbeWindow: *probeWindow,
+		Clock:       wallClock{},
+		Observer:    &jobObserver{w: os.Stderr, verbose: *verbose},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
@@ -72,24 +106,43 @@ func main() {
 	if *benches != "" {
 		suite.Benches = strings.Split(*benches, ",")
 	}
-	ran := false
+
+	var selected []exps.Experiment
 	for _, e := range exps.Registry() {
 		if *exp != "" && !strings.EqualFold(e.ID, *exp) {
 			continue
 		}
-		ran = true
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := runExperiments(selected, suite, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, engineLine(eng.Workers(), eng.Stats()))
+}
+
+// runExperiments renders each selected experiment in registry order,
+// with an ETA line between experiments once one has finished.
+func runExperiments(selected []exps.Experiment, suite *exps.Suite, csvDir string) error {
+	suiteStart := time.Now()
+	for i, e := range selected {
+		if line := etaLine(i, len(selected), time.Since(suiteStart)); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
 		prog := startProgress(os.Stderr, e.ID, e.Title)
 		t, err := e.Run(suite)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "rwpexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+		if csvDir != "" {
+			path := filepath.Join(csvDir, strings.ToLower(e.ID)+".csv")
 			f, err := os.Create(path)
 			if err == nil {
 				err = t.RenderCSV(f)
@@ -98,17 +151,10 @@ func main() {
 				}
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rwpexp: writing %s: %v\n", path, err)
-				os.Exit(1)
+				return fmt.Errorf("writing %s: %w", path, err)
 			}
 		}
 		prog.done(e.ID)
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "rwpexp: engine: workers=%d submitted=%d coalesced=%d executed=%d disk-hits=%d disk-puts=%d disk-errors=%d\n",
-		eng.Workers(), st.Submitted, st.Coalesced, st.Executed, st.DiskHits, st.DiskPuts, st.DiskErrors)
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	// Register the /debug/pprof handlers on the default mux.
+	_ "net/http/pprof"
+)
+
+// Profiling is strictly a cmd/-layer concern: the simulator stays free
+// of clocks and I/O, and rwpexp wraps it with the standard Go tooling —
+// a live net/http/pprof endpoint for poking at a long full-scale run,
+// plus one-shot CPU/heap dumps for `go tool pprof`.
+
+// startPprofServer serves the default mux (with /debug/pprof) on addr
+// in the background. Serving failures are reported, not fatal — the
+// experiments still run.
+func startPprofServer(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "rwpexp: pprof server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "rwpexp: pprof listening on http://%s/debug/pprof/\n", addr)
+}
+
+// startCPUProfile begins writing a CPU profile to path and returns the
+// stop function.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps a heap profile to path (after a GC, so the
+// profile reflects live objects, not garbage).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Command rwpstat loads run journals written by `rwpexp -metrics-dir`
+// (canonical JSONL, schema internal/probe) and renders them as tables:
+// per-run headline results, run-level cache-event aggregates split by
+// request class and partition, and (with -series) the per-interval time
+// series of IPC, read misses and partition occupancy.
+//
+// Examples:
+//
+//	rwpstat results/metrics/single-ab12cd….jsonl
+//	rwpstat -dir results/metrics
+//	rwpstat -dir results/metrics -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rwp/internal/probe"
+	"rwp/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parse flags, load every journal, render.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwpstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "load every *.jsonl journal in this directory")
+	series := fs.Bool("series", false, "also render each journal's per-interval time series")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths, err := journalPaths(*dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+		return 1
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "rwpstat: no journals: pass files or -dir (see -h)")
+		return 2
+	}
+	var loaded []*namedJournal
+	for _, p := range paths {
+		j, err := loadJournal(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+			return 1
+		}
+		loaded = append(loaded, j)
+	}
+	if err := render(stdout, loaded, *series); err != nil {
+		fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// namedJournal pairs a decoded journal with its display label.
+type namedJournal struct {
+	label string
+	j     *probe.Journal
+}
+
+// journalPaths merges explicit files with a directory listing. The
+// directory's journals are sorted by name, so output order is
+// deterministic regardless of filesystem enumeration order.
+func journalPaths(dir string, files []string) ([]string, error) {
+	paths := append([]string(nil), files...)
+	if dir != "" {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var fromDir []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
+				fromDir = append(fromDir, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(fromDir)
+		paths = append(paths, fromDir...)
+	}
+	return paths, nil
+}
+
+func loadJournal(path string) (*namedJournal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	j, err := probe.ReadJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	label := j.Header.Desc
+	if label == "" {
+		label = filepath.Base(path)
+	}
+	return &namedJournal{label: label, j: j}, nil
+}
+
+// render writes the results table, the cache-events table, and (when
+// series is set) one time-series table per journal.
+func render(w io.Writer, journals []*namedJournal, series bool) error {
+	res := report.New("run results",
+		"journal", "workload", "policy", "IPC", "rdMPKI", "totMPKI", "WBPKI")
+	for _, nj := range journals {
+		for _, r := range nj.j.Results {
+			res.AddRow(nj.label, r.Workload, r.Policy,
+				report.F(r.IPC, 3), report.F(r.ReadMPKI, 2),
+				report.F(r.TotalMPKI, 2), report.F(r.WBPKI, 2))
+		}
+	}
+	if err := res.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	ev := report.New("cache events (measured region)",
+		"journal", "accesses", "hits", "hit-clean", "hit-dirty",
+		"bypasses", "evict-clean", "evict-dirty", "retargets", "final-d")
+	for _, nj := range journals {
+		var acc, hits, hitClean, hitDirty, byp uint64
+		for c := probe.Class(0); c < probe.NumClasses; c++ {
+			cc := nj.j.Classes[c]
+			acc += cc.Accesses
+			hits += cc.Hits
+			hitClean += cc.HitsClean
+			hitDirty += cc.HitsDirty
+			byp += cc.Bypasses
+		}
+		finalD := "-"
+		if d := nj.j.FinalTarget(); d >= 0 {
+			finalD = report.I(d)
+		}
+		ev.AddRow(nj.label, report.I(acc), report.I(hits),
+			report.I(hitClean), report.I(hitDirty), report.I(byp),
+			report.I(nj.j.EvictClean), report.I(nj.j.EvictDirty),
+			report.I(len(nj.j.Retargets)), finalD)
+	}
+	ev.Note = "final-d is RWP's last dirty-partition target; '-' = not an RWP-family policy"
+	if err := ev.Render(w); err != nil {
+		return err
+	}
+
+	if !series {
+		return nil
+	}
+	for _, nj := range journals {
+		fmt.Fprintln(w)
+		if err := seriesTable(nj).Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesTable renders one journal's interval records. Instructions,
+// cycles and read misses are stored cumulatively; the table shows
+// per-window deltas (and the window IPC derived from them), which is
+// what partition-dynamics plots want.
+func seriesTable(nj *namedJournal) *report.Table {
+	t := report.New(fmt.Sprintf("time series: %s (window %d accesses)", nj.label, nj.j.Header.Window),
+		"interval", "end-access", "dInsts", "dCycles", "IPC", "dRdMiss", "d-target", "dirty", "valid")
+	var prevI, prevC, prevM uint64
+	for _, iv := range nj.j.Intervals {
+		dI := iv.Instructions - prevI
+		dC := iv.Cycles - prevC
+		dM := iv.LLCReadMisses - prevM
+		prevI, prevC, prevM = iv.Instructions, iv.Cycles, iv.LLCReadMisses
+		ipc := "-"
+		if dC > 0 {
+			ipc = report.F(float64(dI)/float64(dC), 3)
+		}
+		target := "-"
+		if iv.DirtyTarget >= 0 {
+			target = report.I(iv.DirtyTarget)
+		}
+		t.AddRow(report.I(iv.Index), report.I(iv.EndAccess),
+			report.I(dI), report.I(dC), ipc, report.I(dM),
+			target, report.I(iv.DirtyLines), report.I(iv.ValidLines))
+	}
+	return t
+}

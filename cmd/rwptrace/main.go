@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rwp"
@@ -18,79 +19,101 @@ import (
 )
 
 func main() {
-	var (
-		gen  = flag.String("gen", "", "workload to generate a trace from")
-		n    = flag.Uint64("n", 1_000_000, "number of accesses to generate (or dump)")
-		out  = flag.String("o", "", "output file (default stdout)")
-		info = flag.String("info", "", "trace file to summarize")
-		dump = flag.String("dump", "", "trace file to print as text")
-	)
-	flag.Parse()
-
-	switch {
-	case *gen != "":
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fatal(err)
-			}
-			defer func() {
-				if err := f.Close(); err != nil {
-					fatal(err)
-				}
-			}()
-			w = f
-		}
-		count, err := rwp.WriteTrace(w, *gen, *n)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "rwptrace: wrote %d accesses of %s\n", count, *gen)
-	case *info != "":
-		f, err := os.Open(*info)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		sum, err := rwp.ReadTraceSummary(f)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("accesses:     %d\n", sum.Accesses)
-		fmt.Printf("loads:        %d (%.1f%%)\n", sum.Loads, sum.ReadRatio*100)
-		fmt.Printf("stores:       %d\n", sum.Stores)
-		fmt.Printf("lines:        %d (%.1f MiB footprint)\n", sum.Lines, float64(sum.Lines)*64/(1<<20))
-		fmt.Printf("instructions: %d\n", sum.Instructions)
-	case *dump != "":
-		f, err := os.Open(*dump)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w := bufio.NewWriter(os.Stdout)
-		src := trace.NewLimit(trace.NewReader(f), *n)
-		for {
-			a, err := src.Next()
-			if err == trace.ErrEnd {
-				break
-			}
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(w, "%d %s %#x pc=%#x\n", a.IC, a.Kind, uint64(a.Addr), uint64(a.PC))
-		}
-		if err := w.Flush(); err != nil {
-			fatal(err)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "rwptrace: need -gen or -info")
-		flag.Usage()
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rwptrace:", err)
-	os.Exit(1)
+// run is main's testable body: parse flags, dispatch to one mode.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwptrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gen  = fs.String("gen", "", "workload to generate a trace from")
+		n    = fs.Uint64("n", 1_000_000, "number of accesses to generate (or dump)")
+		out  = fs.String("o", "", "output file (default stdout)")
+		info = fs.String("info", "", "trace file to summarize")
+		dump = fs.String("dump", "", "trace file to print as text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var err error
+	switch {
+	case *gen != "":
+		err = runGen(stdout, stderr, *gen, *n, *out)
+	case *info != "":
+		err = runInfo(stdout, *info)
+	case *dump != "":
+		err = runDump(stdout, *dump, *n)
+	default:
+		fmt.Fprintln(stderr, "rwptrace: need -gen or -info")
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "rwptrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// runGen writes n accesses of the named workload to out (or stdout
+// when out is empty).
+func runGen(stdout, stderr io.Writer, workload string, n uint64, out string) error {
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	count, err := rwp.WriteTrace(w, workload, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "rwptrace: wrote %d accesses of %s\n", count, workload)
+	return nil
+}
+
+// runInfo prints the one-pass summary of a trace file.
+func runInfo(stdout io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := rwp.ReadTraceSummary(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "accesses:     %d\n", sum.Accesses)
+	fmt.Fprintf(stdout, "loads:        %d (%.1f%%)\n", sum.Loads, sum.ReadRatio*100)
+	fmt.Fprintf(stdout, "stores:       %d\n", sum.Stores)
+	fmt.Fprintf(stdout, "lines:        %d (%.1f MiB footprint)\n", sum.Lines, float64(sum.Lines)*64/(1<<20))
+	fmt.Fprintf(stdout, "instructions: %d\n", sum.Instructions)
+	return nil
+}
+
+// runDump prints the first n accesses of a trace file as text.
+func runDump(stdout io.Writer, path string, n uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(stdout)
+	src := trace.NewLimit(trace.NewReader(f), n)
+	for {
+		a, err := src.Next()
+		if err == trace.ErrEnd {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d %s %#x pc=%#x\n", a.IC, a.Kind, uint64(a.Addr), uint64(a.PC))
+	}
+	return w.Flush()
 }

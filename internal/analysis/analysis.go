@@ -87,6 +87,7 @@ func Default() []*Analyzer {
 		MapOrder,
 		FloatEq,
 		CtrWidth,
+		Probesafe,
 	}
 }
 

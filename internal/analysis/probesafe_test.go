@@ -1,0 +1,115 @@
+package analysis
+
+import "testing"
+
+// probeFixture declares a local Probe interface mirroring
+// rwp/internal/probe's shape, so fixtures type-check without imports.
+const probeFixture = `package fix
+
+type Probe interface {
+	Event(x int)
+	Window() uint64
+}
+
+type AccessEvent struct{ Hit bool }
+
+type Recorder struct{ n int }
+
+func (r *Recorder) Event(x int)   { r.n += x }
+func (r *Recorder) Window() uint64 { return 0 }
+
+type cache struct {
+	probe Probe
+	hits  int
+}
+`
+
+func TestProbesafeGuardedCalls(t *testing.T) {
+	src := probeFixture + `
+func (c *cache) access() {
+	if c.probe != nil {
+		c.probe.Event(1)
+	}
+}
+
+func run(p Probe, n int) {
+	if p != nil && n > 0 {
+		p.Event(n)
+	}
+	if p != nil {
+		for i := 0; i < n; i++ {
+			p.Event(i)
+		}
+	}
+	if (p != nil) && (n > 0 || n < -1) {
+		_ = p.Window()
+	}
+}
+`
+	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe), "probesafe")
+}
+
+func TestProbesafeUnguardedCalls(t *testing.T) {
+	src := probeFixture + `
+func (c *cache) bad() {
+	c.probe.Event(1)
+}
+
+func alsoBad(p Probe, c *cache) {
+	if c.probe != nil {
+		p.Event(2)
+	}
+	if p == nil {
+		return
+	}
+	p.Event(3)
+}
+
+func orIsNotProof(p Probe, n int) {
+	if p != nil || n > 0 {
+		p.Event(4)
+	}
+}
+`
+	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe),
+		"probesafe", 21, 26, 31, 36)
+}
+
+func TestProbesafeConcreteRecorderExempt(t *testing.T) {
+	// Calls on the concrete *Recorder are not interface dispatch and
+	// cannot hit a nil probe: they must not be flagged.
+	src := probeFixture + `
+func aggregate(r *Recorder) {
+	r.Event(1)
+	_ = r.Window()
+}
+`
+	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe), "probesafe")
+}
+
+func TestProbesafeScope(t *testing.T) {
+	src := probeFixture + `
+func bad(p Probe) { p.Event(1) }
+`
+	// cmd/ is out of scope: tools attach probes they just constructed.
+	wantFindings(t, checkSrc(t, "rwp/cmd/rwpstat", src, Probesafe), "probesafe")
+	// The probe package itself (and its tests) is exempt.
+	wantFindings(t, checkSrc(t, "rwp/internal/probe", src, Probesafe), "probesafe")
+	wantFindings(t, checkSrc(t, "rwp/internal/probe_test", src, Probesafe), "probesafe")
+	// Other internal packages are in scope.
+	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe), "probesafe", 20)
+}
+
+func TestProbesafeAllowDirective(t *testing.T) {
+	src := probeFixture + `
+func checked(p Probe) {
+	//rwplint:allow probesafe — caller guarantees a non-nil probe
+	p.Event(1)
+}
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, Probesafe)
+	if len(findings) != 1 || !findings[0].Suppressed {
+		t.Fatalf("want one suppressed finding, got %v", findings)
+	}
+	wantFindings(t, findings, "probesafe")
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"rwp/internal/mem"
+	"rwp/internal/probe"
 )
 
 // Class is the kind of request arriving at a cache level.
@@ -237,6 +238,9 @@ type Cache struct {
 	dirty  []int16     // per-set dirty-line count
 	policy Policy
 	stats  Stats
+	// probe receives instrumentation events; nil (the default) disables
+	// them at the cost of one branch per event site.
+	probe probe.Probe
 }
 
 // New builds a cache with the given geometry and policy. The policy is
@@ -289,6 +293,30 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Policy returns the attached policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
+// SetProbe attaches an instrumentation probe (nil detaches). Probes
+// observe only: attaching one never changes any Result or Stats bit.
+func (c *Cache) SetProbe(p probe.Probe) { c.probe = p }
+
+// TotalDirty returns the number of valid dirty lines across all sets —
+// the dirty partition's actual occupancy (O(sets), for interval
+// snapshots).
+func (c *Cache) TotalDirty() int {
+	n := 0
+	for _, d := range c.dirty {
+		n += int(d)
+	}
+	return n
+}
+
+// TotalValid returns the number of valid lines across all sets.
+func (c *Cache) TotalValid() int {
+	n := 0
+	for _, v := range c.valid {
+		n += int(v)
+	}
+	return n
+}
+
 // SetIndex maps a line address to its set.
 func (c *Cache) SetIndex(line mem.LineAddr) int { return int(uint64(line) & c.mask) } //rwplint:allow ctrwidth — bounded: masked to [0, NumSets)
 
@@ -316,6 +344,9 @@ func (c *Cache) Access(line mem.LineAddr, pc mem.Addr, class Class, core int) Re
 	if ok {
 		c.stats.Hits[class]++
 		ls := &c.lines[set*c.cfg.Ways+way]
+		if c.probe != nil {
+			c.probe.CacheAccess(probe.AccessEvent{Level: c.cfg.Name, Class: probe.Class(class), Hit: true, LineDirty: ls.Dirty})
+		}
 		if dirtying {
 			if !ls.Dirty {
 				c.dirty[set]++
@@ -328,9 +359,15 @@ func (c *Cache) Access(line mem.LineAddr, pc mem.Addr, class Class, core int) Re
 		return Result{Hit: true}
 	}
 	c.stats.Misses[class]++
+	if c.probe != nil {
+		c.probe.CacheAccess(probe.AccessEvent{Level: c.cfg.Name, Class: probe.Class(class), Hit: false})
+	}
 	victim, bypass := c.policy.Victim(set, ai)
 	if bypass {
 		c.stats.Bypasses++
+		if c.probe != nil {
+			c.probe.CacheBypass(probe.BypassEvent{Level: c.cfg.Name, Class: probe.Class(class)})
+		}
 		return Result{Bypassed: true}
 	}
 	if victim < 0 || victim >= c.cfg.Ways {
@@ -341,6 +378,9 @@ func (c *Cache) Access(line mem.LineAddr, pc mem.Addr, class Class, core int) Re
 	ls := &c.lines[set*c.cfg.Ways+victim]
 	if ls.Valid {
 		c.stats.Evictions++
+		if c.probe != nil {
+			c.probe.CacheEvict(probe.EvictEvent{Level: c.cfg.Name, Class: probe.Class(class), Dirty: ls.Dirty})
+		}
 		if ls.Dirty {
 			c.stats.DirtyEvict++
 			c.dirty[set]--
@@ -357,6 +397,9 @@ func (c *Cache) Access(line mem.LineAddr, pc mem.Addr, class Class, core int) Re
 		c.dirty[set]++
 	}
 	c.stats.Fills++
+	if c.probe != nil {
+		c.probe.CacheFill(probe.FillEvent{Level: c.cfg.Name, Class: probe.Class(class), Dirty: ls.Dirty})
+	}
 	c.policy.OnFill(set, victim, ai)
 	return res
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"rwp/internal/cache"
 	"rwp/internal/policy"
+	"rwp/internal/probe"
 )
 
 // RWPB is the bypass extension of RWP sketched in the paper's discussion
@@ -31,6 +32,9 @@ func (p *RWPB) Victim(set int, ai cache.AccessInfo) (int, bool) {
 	if ai.Class == cache.Writeback && p.TargetDirty() == 0 {
 		p.observe(set, ai) // the sampler still sees the access
 		p.bypasses++
+		if p.probe != nil {
+			p.probe.Policy(probe.PolicyEvent{Policy: "rwpb", Kind: "bypass", Value: int64(p.bypasses)})
+		}
 		return 0, true
 	}
 	return p.RWP.Victim(set, ai)

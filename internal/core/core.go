@@ -30,6 +30,7 @@ import (
 
 	"rwp/internal/cache"
 	"rwp/internal/policy"
+	"rwp/internal/probe"
 	"rwp/internal/recency"
 )
 
@@ -102,7 +103,13 @@ type RWP struct {
 	// history records the target chosen at each interval boundary, for
 	// the partition-dynamics experiment (E8).
 	history []int
+
+	// probe receives retarget events; nil disables them.
+	probe probe.Probe
 }
+
+// SetProbe implements probe.Instrumentable.
+func (p *RWP) SetProbe(pr probe.Probe) { p.probe = pr }
 
 // New returns an RWP policy with the given configuration.
 func New(cfg Config) *RWP {
@@ -172,6 +179,9 @@ func (p *RWP) repartition() {
 	p.targetDirty = BestDirtyWays(p.cleanHist, p.dirtyHist)
 	p.intervals++
 	p.history = append(p.history, p.targetDirty)
+	if p.probe != nil {
+		p.probe.Retarget(probe.RetargetEvent{Interval: p.intervals, Target: p.targetDirty, Accesses: p.accesses})
+	}
 	for i := range p.cleanHist {
 		p.cleanHist[i] >>= p.cfg.DecayShift
 		p.dirtyHist[i] >>= p.cfg.DecayShift

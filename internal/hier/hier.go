@@ -17,6 +17,7 @@ import (
 	"rwp/internal/dram"
 	"rwp/internal/mem"
 	"rwp/internal/policy"
+	"rwp/internal/probe"
 )
 
 // Config describes a hierarchy. LLCPolicy names a registered policy; the
@@ -153,6 +154,16 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // LLC exposes the shared cache (for stats and policy introspection).
 func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// SetProbe attaches a probe to the LLC and, when the LLC policy is
+// itself instrumentable, to the policy. Private levels stay silent —
+// the studied mechanisms all live at the LLC.
+func (h *Hierarchy) SetProbe(p probe.Probe) {
+	h.llc.SetProbe(p)
+	if ip, ok := h.llc.Policy().(probe.Instrumentable); ok {
+		ip.SetProbe(p)
+	}
+}
 
 // DRAM exposes the memory channel.
 func (h *Hierarchy) DRAM() *dram.DRAM { return h.dram }

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"rwp/internal/cache"
+	"rwp/internal/probe"
 	"rwp/internal/recency"
 	"rwp/internal/xrand"
 )
@@ -76,11 +77,21 @@ func (p *BIP) OnFill(set, way int, _ cache.AccessInfo) {
 // DIP (Dynamic Insertion Policy) duels LRU insertion (policy A) against
 // BIP insertion (policy B) and applies the winner in follower sets.
 type DIP struct {
-	r    cache.StateReader
-	tab  *recency.Table
-	duel *Duel
-	eps  float64
-	rng  *xrand.RNG
+	r     cache.StateReader
+	tab   *recency.Table
+	duel  *Duel
+	eps   float64
+	rng   *xrand.RNG
+	probe probe.Probe
+}
+
+// SetProbe implements probe.Instrumentable, forwarding to the duel (which
+// may be created later, in Attach).
+func (p *DIP) SetProbe(pr probe.Probe) {
+	p.probe = pr
+	if p.duel != nil {
+		p.duel.SetProbe(pr)
+	}
 }
 
 // NewDIP returns a DIP policy with standard parameters.
@@ -96,6 +107,7 @@ func (p *DIP) Attach(r cache.StateReader) {
 	p.r = r
 	p.tab = recency.NewTable(r.NumSets(), r.Ways())
 	p.duel = NewDuel(r.NumSets(), DefaultLeaderSets, DefaultPSELBits)
+	p.duel.SetProbe(p.probe)
 }
 
 // OnHit implements cache.Policy.

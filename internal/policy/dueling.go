@@ -1,5 +1,7 @@
 package policy
 
+import "rwp/internal/probe"
+
 // Set dueling (Qureshi et al.): a handful of "leader" sets are pinned to
 // each of two competing policies; a saturating selector counter tracks
 // which leader group misses less, and all "follower" sets adopt the
@@ -31,7 +33,13 @@ type Duel struct {
 	stride  int
 	psel    int
 	pselMax int
+
+	// probe receives leader-flip events; nil disables them.
+	probe probe.Probe
 }
+
+// SetProbe implements probe.Instrumentable.
+func (d *Duel) SetProbe(p probe.Probe) { d.probe = p }
 
 // NewDuel builds a dueling monitor over numSets sets with leaders leader
 // sets per policy and a PSEL counter of pselBits bits. PSEL starts at the
@@ -66,6 +74,7 @@ func (d *Duel) Role(set int) DuelRole {
 // Miss records a miss in the given set. A miss in an A-leader moves PSEL
 // toward B and vice versa; follower misses are ignored.
 func (d *Duel) Miss(set int) {
+	before := d.UseA()
 	switch d.Role(set) {
 	case LeaderA:
 		if d.psel < d.pselMax {
@@ -75,6 +84,9 @@ func (d *Duel) Miss(set int) {
 		if d.psel > 0 {
 			d.psel--
 		}
+	}
+	if d.probe != nil && d.UseA() != before {
+		d.probe.Policy(probe.PolicyEvent{Policy: "duel", Kind: "flip", Value: int64(d.psel)})
 	}
 }
 

@@ -1,0 +1,144 @@
+package probe
+
+// DefaultWindow is the interval width (in measured accesses) used by
+// the experiment engine's journals: 100k accesses matches RWP's default
+// repartitioning interval, so each sample spans roughly one predictor
+// decision.
+const DefaultWindow = 100_000
+
+// ClassCounters aggregates one request class at one level.
+type ClassCounters struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	HitsClean  uint64 // hits on clean lines (clean-partition hits)
+	HitsDirty  uint64 // hits on dirty lines (dirty-partition hits)
+	Fills      uint64
+	FillsDirty uint64 // fills installing a dirty line
+	Bypasses   uint64
+}
+
+// PolicyCount is one (policy, kind) decision counter plus the last
+// observed value.
+type PolicyCount struct {
+	Policy string
+	Kind   string
+	Count  uint64
+	Last   int64
+}
+
+// Recorder is the concrete Probe: it aggregates events into run-level
+// counters, per-interval samples and the retarget history. A Recorder
+// observes exactly one run and is not safe for concurrent use (the
+// simulator is single-goroutine per run; the parallel engine attaches
+// one Recorder per job).
+type Recorder struct {
+	window uint64
+
+	// Classes is indexed by Class; only events from the instrumented
+	// level (the LLC, in the standard wiring) are counted.
+	Classes [NumClasses]ClassCounters
+
+	// EvictClean/EvictDirty count evictions by source partition.
+	EvictClean uint64
+	EvictDirty uint64
+
+	// Retargets is the predictor's decision history in emission order.
+	Retargets []RetargetEvent
+
+	// PolicyCounts aggregates policy-internal decisions. The slice is
+	// small (a handful of distinct policy/kind pairs) and append-ordered
+	// by first emission, which is deterministic for a deterministic run.
+	PolicyCounts []PolicyCount
+
+	// Intervals is the per-window time series in emission order.
+	Intervals []IntervalEvent
+}
+
+// NewRecorder returns a Recorder sampling every window measured
+// accesses; window 0 selects DefaultWindow.
+func NewRecorder(window uint64) *Recorder {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	return &Recorder{window: window}
+}
+
+// Window implements Probe.
+func (r *Recorder) Window() uint64 { return r.window }
+
+// CacheAccess implements Probe.
+func (r *Recorder) CacheAccess(ev AccessEvent) {
+	c := &r.Classes[ev.Class]
+	c.Accesses++
+	if ev.Hit {
+		c.Hits++
+		if ev.LineDirty {
+			c.HitsDirty++
+		} else {
+			c.HitsClean++
+		}
+	} else {
+		c.Misses++
+	}
+}
+
+// CacheFill implements Probe.
+func (r *Recorder) CacheFill(ev FillEvent) {
+	c := &r.Classes[ev.Class]
+	c.Fills++
+	if ev.Dirty {
+		c.FillsDirty++
+	}
+}
+
+// CacheEvict implements Probe.
+func (r *Recorder) CacheEvict(ev EvictEvent) {
+	if ev.Dirty {
+		r.EvictDirty++
+	} else {
+		r.EvictClean++
+	}
+}
+
+// CacheBypass implements Probe.
+func (r *Recorder) CacheBypass(ev BypassEvent) {
+	r.Classes[ev.Class].Bypasses++
+}
+
+// Retarget implements Probe.
+func (r *Recorder) Retarget(ev RetargetEvent) {
+	r.Retargets = append(r.Retargets, ev)
+}
+
+// Policy implements Probe.
+func (r *Recorder) Policy(ev PolicyEvent) {
+	for i := range r.PolicyCounts {
+		pc := &r.PolicyCounts[i]
+		if pc.Policy == ev.Policy && pc.Kind == ev.Kind {
+			pc.Count++
+			pc.Last = ev.Value
+			return
+		}
+	}
+	r.PolicyCounts = append(r.PolicyCounts, PolicyCount{
+		Policy: ev.Policy, Kind: ev.Kind, Count: 1, Last: ev.Value,
+	})
+}
+
+// IntervalEnd implements Probe.
+func (r *Recorder) IntervalEnd(ev IntervalEvent) {
+	r.Intervals = append(r.Intervals, ev)
+}
+
+// FinalTarget returns the last retarget decision, or -1 when the
+// predictor never fired (non-RWP policies, short runs).
+func (r *Recorder) FinalTarget() int {
+	if len(r.Retargets) == 0 {
+		return -1
+	}
+	return r.Retargets[len(r.Retargets)-1].Target
+}
+
+// Evictions returns the total eviction count.
+func (r *Recorder) Evictions() uint64 { return r.EvictClean + r.EvictDirty }

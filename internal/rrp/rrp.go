@@ -32,6 +32,7 @@ import (
 	"rwp/internal/cache"
 	"rwp/internal/mem"
 	"rwp/internal/policy"
+	"rwp/internal/probe"
 	"rwp/internal/recency"
 )
 
@@ -92,7 +93,13 @@ type RRP struct {
 	// Telemetry.
 	bypassVerdicts uint64
 	fills          uint64
+
+	// probe receives bypass-verdict events; nil disables them.
+	probe probe.Probe
 }
+
+// SetProbe implements probe.Instrumentable.
+func (p *RRP) SetProbe(pr probe.Probe) { p.probe = pr }
 
 // New returns an RRP policy.
 func New(cfg Config) *RRP {
@@ -165,6 +172,9 @@ func (p *RRP) Victim(set int, ai cache.AccessInfo) (int, bool) {
 	if ai.Class != cache.DemandLoad && !p.isTrainSet(set) &&
 		p.counters[p.Signature(ai.PC)] < uint8(p.cfg.BypassThreshold) {
 		p.bypassVerdicts++
+		if p.probe != nil {
+			p.probe.Policy(probe.PolicyEvent{Policy: "rrp", Kind: "bypass", Value: int64(p.counters[p.Signature(ai.PC)])})
+		}
 		return 0, true
 	}
 	if w := p.invalidWay(set); w >= 0 {

@@ -3,6 +3,7 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -40,7 +41,8 @@ type Observer interface {
 	JobDone(k Key, elapsed time.Duration, fromCache bool)
 }
 
-// Stats counts what the engine did. All fields are monotone counters.
+// Stats counts what the engine did. All fields except MaxQueue are
+// monotone counters.
 type Stats struct {
 	// Submitted is the total number of Submit calls.
 	Submitted uint64
@@ -49,13 +51,21 @@ type Stats struct {
 	Coalesced uint64
 	// Executed counts jobs whose compute function actually ran.
 	Executed uint64
+	// Done counts jobs whose value was delivered, executed or disk-hit.
+	Done uint64
 	// DiskHits counts jobs satisfied by a valid disk-cache entry.
 	DiskHits uint64
 	// DiskPuts counts results durably written to the disk cache.
 	DiskPuts uint64
-	// DiskErrors counts cache write failures (non-fatal: the result is
-	// still delivered, it just will not survive a restart).
+	// DiskErrors counts cache and journal write failures (non-fatal: the
+	// result is still delivered, it just will not survive a restart).
 	DiskErrors uint64
+	// ExecTime is the summed wall time of executed jobs, measured with
+	// the engine's injected Clock (zero under the default zero clock).
+	ExecTime time.Duration
+	// MaxQueue is the high-water mark of jobs waiting for a worker slot
+	// — how far submission ran ahead of execution.
+	MaxQueue int
 }
 
 // Config configures an Engine.
@@ -68,15 +78,28 @@ type Config struct {
 	Clock Clock
 	// Observer receives job events; nil disables them.
 	Observer Observer
+	// MetricsDir, when non-empty, makes every simulation job run with an
+	// attached probe.Recorder and write its run journal (canonical JSONL,
+	// see internal/probe) into this directory, named <kind>-<key>.jsonl —
+	// content-addressed exactly like the result cache. Journals are
+	// written only when a job actually executes: a disk-cache hit skips
+	// the simulation, so pair -metrics-dir with a cold cache (or none)
+	// when journals for every job are wanted.
+	MetricsDir string
+	// ProbeWindow is the journal's interval width in measured accesses;
+	// 0 selects probe.DefaultWindow.
+	ProbeWindow uint64
 }
 
 // Engine runs jobs on a bounded worker pool, coalescing duplicate keys
 // and optionally persisting results content-addressed on disk.
 type Engine struct {
-	workers int
-	clock   Clock
-	obs     Observer
-	cache   *Cache
+	workers     int
+	clock       Clock
+	obs         Observer
+	cache       *Cache
+	metricsDir  string
+	probeWindow uint64
 
 	// sem bounds the number of concurrently executing jobs.
 	sem chan struct{}
@@ -84,6 +107,7 @@ type Engine struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	stats   Stats
+	queued  int // jobs currently waiting for a worker slot
 }
 
 // entry is one job's lifecycle: created on first Submit, closed when
@@ -104,11 +128,13 @@ func New(cfg Config) (*Engine, error) {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers: w,
-		clock:   cfg.Clock,
-		obs:     cfg.Observer,
-		sem:     make(chan struct{}, w),
-		entries: make(map[string]*entry),
+		workers:     w,
+		clock:       cfg.Clock,
+		obs:         cfg.Observer,
+		metricsDir:  cfg.MetricsDir,
+		probeWindow: cfg.ProbeWindow,
+		sem:         make(chan struct{}, w),
+		entries:     make(map[string]*entry),
 	}
 	if e.clock == nil {
 		e.clock = zeroClock{}
@@ -119,6 +145,11 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.cache = c
+	}
+	if cfg.MetricsDir != "" {
+		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: metrics dir: %w", err)
+		}
 	}
 	return e, nil
 }
@@ -205,7 +236,14 @@ func Submit[T any](e *Engine, key Key, run func() (T, error)) *Future[T] {
 // exec resolves one entry on the worker pool: disk-cache probe, then
 // compute, then best-effort durable write.
 func (e *Engine) exec(ent *entry, run func() (any, error), decode func([]byte) (any, error)) {
+	e.count(func(s *Stats) {
+		e.queued++
+		if e.queued > s.MaxQueue {
+			s.MaxQueue = e.queued
+		}
+	})
 	e.sem <- struct{}{}
+	e.count(func(*Stats) { e.queued-- })
 	defer func() { <-e.sem }()
 	defer close(ent.done)
 
@@ -214,7 +252,7 @@ func (e *Engine) exec(ent *entry, run func() (any, error), decode func([]byte) (
 		if payload, ok := e.cache.Get(ent.key); ok {
 			if v, err := decode(payload); err == nil {
 				ent.val = v
-				e.count(func(s *Stats) { s.DiskHits++ })
+				e.count(func(s *Stats) { s.DiskHits++; s.Done++ })
 				if e.obs != nil {
 					e.obs.JobDone(ent.key, e.clock.Now().Sub(start), true)
 				}
@@ -230,10 +268,11 @@ func (e *Engine) exec(ent *entry, run func() (any, error), decode func([]byte) (
 	}
 	start := e.clock.Now()
 	v, err := run()
+	elapsed := e.clock.Now().Sub(start)
 	ent.val, ent.err = v, err
-	e.count(func(s *Stats) { s.Executed++ })
+	e.count(func(s *Stats) { s.Executed++; s.Done++; s.ExecTime += elapsed })
 	if e.obs != nil {
-		e.obs.JobDone(ent.key, e.clock.Now().Sub(start), false)
+		e.obs.JobDone(ent.key, elapsed, false)
 	}
 	if err != nil || e.cache == nil {
 		return

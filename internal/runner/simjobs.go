@@ -3,6 +3,7 @@ package runner
 import (
 	"strings"
 
+	"rwp/internal/probe"
 	"rwp/internal/sim"
 	"rwp/internal/workload"
 )
@@ -36,7 +37,16 @@ func (e *Engine) Single(bench string, opt sim.Options) *Future[sim.Result] {
 		if err != nil {
 			return sim.Result{}, err
 		}
-		return sim.RunSingle(prof, opt)
+		if e.metricsDir == "" {
+			return sim.RunSingle(prof, opt)
+		}
+		rec := probe.NewRecorder(e.probeWindow)
+		res, err := sim.RunSingleProbe(prof, opt, rec)
+		if err != nil {
+			return res, err
+		}
+		e.writeJournal(key, []probe.ResultRecord{resultRecord(res)}, rec)
+		return res, nil
 	})
 }
 
@@ -57,6 +67,19 @@ func (e *Engine) Multi(benches []string, opt sim.Options) *Future[sim.MultiResul
 			}
 			profs[i] = p
 		}
-		return sim.RunMulti(profs, opt)
+		if e.metricsDir == "" {
+			return sim.RunMulti(profs, opt)
+		}
+		rec := probe.NewRecorder(e.probeWindow)
+		res, err := sim.RunMultiProbe(profs, opt, rec)
+		if err != nil {
+			return res, err
+		}
+		records := make([]probe.ResultRecord, len(res.PerCore))
+		for i, r := range res.PerCore {
+			records[i] = resultRecord(r)
+		}
+		e.writeJournal(key, records, rec)
+		return res, nil
 	})
 }

@@ -10,6 +10,19 @@ import (
 	"rwp/internal/trace"
 )
 
+// llcDirtyTarget returns RWP's dirty-partition target at the LLC, or -1
+// when the LLC policy is not RWP-based.
+func llcDirtyTarget(h *hier.Hierarchy) int {
+	switch p := h.LLC().Policy().(type) {
+	case *core.RWP:
+		return p.TargetDirty()
+	case *core.RWPB:
+		return p.TargetDirty()
+	default:
+		return -1
+	}
+}
+
 // Interval is one measurement window of a time-series run.
 type Interval struct {
 	// EndAccess is the access count (from measurement start) at the
@@ -45,17 +58,6 @@ func RunSourceIntervals(name string, src trace.Source, opt Options, window uint6
 	if err != nil {
 		return Result{}, nil, err
 	}
-	dirtyTarget := func() int {
-		switch p := h.LLC().Policy().(type) {
-		case *core.RWP:
-			return p.TargetDirty()
-		case *core.RWPB:
-			return p.TargetDirty()
-		default:
-			return -1
-		}
-	}
-
 	var series []Interval
 	var warmEndIC, warmEndCycles uint64
 	var warmCore cpu.Stats
@@ -92,7 +94,7 @@ func RunSourceIntervals(name string, src trace.Source, opt Options, window uint6
 				misses := h.LLC().Stats().ReadMisses()
 				insts := snap.Instructions - winIC
 				cycles := snap.Cycles - winCycles
-				iv := Interval{EndAccess: measured, DirtyTarget: dirtyTarget()}
+				iv := Interval{EndAccess: measured, DirtyTarget: llcDirtyTarget(h)}
 				if cycles > 0 {
 					iv.IPC = float64(insts) / float64(cycles)
 				}

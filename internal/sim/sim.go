@@ -13,6 +13,7 @@ import (
 	"rwp/internal/dram"
 	"rwp/internal/hier"
 	"rwp/internal/mem"
+	"rwp/internal/probe"
 	"rwp/internal/stats"
 	"rwp/internal/trace"
 	"rwp/internal/workload"
@@ -88,6 +89,20 @@ type Result struct {
 
 // RunSingle executes one workload on a single-core system.
 func RunSingle(prof workload.Profile, opt Options) (Result, error) {
+	return runSingle(prof, opt, nil)
+}
+
+// RunSingleProbe is RunSingle with an attached probe. The probe is wired
+// to the hierarchy at the warmup boundary, so its aggregates cover
+// exactly the measured region (matching Result's stats); every
+// p.Window() measured accesses it additionally receives an IntervalEnd
+// snapshot. Attaching a probe never changes the Result — the probe only
+// observes (enforced by probe_test.go).
+func RunSingleProbe(prof workload.Profile, opt Options, p probe.Probe) (Result, error) {
+	return runSingle(prof, opt, p)
+}
+
+func runSingle(prof workload.Profile, opt Options, p probe.Probe) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -103,10 +118,18 @@ func RunSingle(prof workload.Profile, opt Options) (Result, error) {
 		return Result{}, err
 	}
 	src := prof.NewSource()
+	var window uint64
+	if p != nil {
+		window = p.Window()
+		if opt.Warmup == 0 {
+			h.SetProbe(p)
+		}
+	}
 
 	var warmEndIC, warmEndCycles uint64
 	var warmCore cpu.Stats
 	var lastIC uint64
+	var winIdx int
 	total := opt.Warmup + opt.Measure
 	for i := uint64(0); i < total; i++ {
 		a, err := src.Next()
@@ -120,6 +143,26 @@ func RunSingle(prof workload.Profile, opt Options) (Result, error) {
 			snap := core.Stats()
 			warmEndIC, warmEndCycles = snap.Instructions, snap.Cycles
 			warmCore = snap
+			if p != nil {
+				h.SetProbe(p)
+			}
+		}
+		if p != nil && window > 0 && i+1 > opt.Warmup {
+			measured := i + 1 - opt.Warmup
+			if measured%window == 0 {
+				snap := core.Stats()
+				p.IntervalEnd(probe.IntervalEvent{
+					Index:         winIdx,
+					EndAccess:     measured,
+					Instructions:  snap.Instructions - warmEndIC,
+					Cycles:        snap.Cycles - warmEndCycles,
+					LLCReadMisses: h.LLC().Stats().ReadMisses(),
+					DirtyTarget:   llcDirtyTarget(h),
+					DirtyLines:    h.LLC().TotalDirty(),
+					ValidLines:    h.LLC().TotalValid(),
+				})
+				winIdx++
+			}
 		}
 	}
 	final := core.Finish(lastIC + 1)
@@ -181,6 +224,19 @@ func (m MultiResult) Throughput() float64 { return stats.Throughput(m.IPCs) }
 // running — still generating interference — until every core has
 // finished; their extra work is not counted.
 func RunMulti(profs []workload.Profile, opt Options) (MultiResult, error) {
+	return runMulti(profs, opt, nil)
+}
+
+// RunMultiProbe is RunMulti with an attached probe. The probe is wired
+// to the shared LLC once every core has finished warming, so aggregates
+// cover the same region as the measured LLC deltas; IntervalEnd fires
+// every p.Window() globally measured accesses with instruction and cycle
+// counts summed over cores.
+func RunMultiProbe(profs []workload.Profile, opt Options, p probe.Probe) (MultiResult, error) {
+	return runMulti(profs, opt, p)
+}
+
+func runMulti(profs []workload.Profile, opt Options, p probe.Probe) (MultiResult, error) {
 	n := len(profs)
 	if n == 0 {
 		return MultiResult{}, fmt.Errorf("sim: empty mix")
@@ -220,6 +276,16 @@ func RunMulti(profs []workload.Profile, opt Options) (MultiResult, error) {
 	total := opt.Warmup + opt.Measure
 	llcWarm := cache.Stats{}
 	warmDone := 0
+	var window uint64
+	if p != nil {
+		window = p.Window()
+	}
+	if p != nil && opt.Warmup == 0 {
+		warmDone = n
+		h.SetProbe(p)
+	}
+	var measured uint64
+	var winIdx int
 
 	finished := 0
 	for finished < n {
@@ -257,6 +323,31 @@ func RunMulti(profs []workload.Profile, opt Options) (MultiResult, error) {
 			if warmDone == n {
 				llcWarm = h.LLC().Stats()
 				h.DRAM().ResetStats()
+				if p != nil {
+					h.SetProbe(p)
+				}
+			}
+		}
+		if p != nil && window > 0 && warmDone == n && st.done > opt.Warmup {
+			measured++
+			if measured%window == 0 {
+				var insts, cycles uint64
+				for _, s2 := range states {
+					snap := s2.core.Stats()
+					insts += snap.Instructions - s2.warmIC
+					cycles += snap.Cycles - s2.warmCyc
+				}
+				p.IntervalEnd(probe.IntervalEvent{
+					Index:         winIdx,
+					EndAccess:     measured,
+					Instructions:  insts,
+					Cycles:        cycles,
+					LLCReadMisses: h.LLC().Stats().ReadMisses() - llcWarm.ReadMisses(),
+					DirtyTarget:   llcDirtyTarget(h),
+					DirtyLines:    h.LLC().TotalDirty(),
+					ValidLines:    h.LLC().TotalValid(),
+				})
+				winIdx++
 			}
 		}
 		if st.done == total {

@@ -9,12 +9,21 @@ import (
 	"math"
 )
 
+// EmptyMean is what every mean in this package returns for an empty
+// (or nil) slice. A mean over nothing is mathematically undefined; the
+// evaluation pipeline prefers a well-defined sentinel over a panic so
+// that an experiment with a filtered-out benchmark set renders "0.000"
+// rows instead of crashing mid-suite. Callers that must distinguish
+// "empty" from a true zero should check len() themselves — no positive
+// measurement set can produce a 0 mean.
+const EmptyMean = 0.0
+
 // GeoMean returns the geometric mean of xs. It panics on non-positive
-// inputs (speedups and IPCs are positive by construction) and returns 0
-// for an empty slice.
+// inputs (speedups and IPCs are positive by construction) and returns
+// EmptyMean for an empty slice.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return EmptyMean
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -26,10 +35,10 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// AMean returns the arithmetic mean (0 for empty input).
+// AMean returns the arithmetic mean (EmptyMean for empty input).
 func AMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return EmptyMean
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -38,11 +47,11 @@ func AMean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// HMean returns the harmonic mean. It panics on non-positive inputs and
-// returns 0 for an empty slice.
+// HMean returns the harmonic mean. It panics on non-positive inputs
+// and returns EmptyMean for an empty slice.
 func HMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return EmptyMean
 	}
 	sum := 0.0
 	for _, x := range xs {

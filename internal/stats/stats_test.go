@@ -19,8 +19,21 @@ func TestMeans(t *testing.T) {
 	if !almost(HMean(xs), 3/(1+0.5+0.25)) {
 		t.Errorf("HMean = %v", HMean(xs))
 	}
-	if AMean(nil) != 0 || GeoMean(nil) != 0 || HMean(nil) != 0 { //rwplint:allow floateq — exact: empty-input means are exactly 0
-		t.Error("empty means must be 0")
+}
+
+// TestEmptyMeans pins the documented sentinel: every mean returns
+// exactly EmptyMean for both nil and zero-length slices.
+func TestEmptyMeans(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		mean func([]float64) float64
+	}{{"AMean", AMean}, {"GeoMean", GeoMean}, {"HMean", HMean}} {
+		name, mean := m.name, m.mean
+		for _, xs := range [][]float64{nil, {}} {
+			if got := mean(xs); got != EmptyMean { //rwplint:allow floateq — exact: the empty sentinel is exactly EmptyMean
+				t.Errorf("%s(%v) = %v, want EmptyMean (%v)", name, xs, got, EmptyMean)
+			}
+		}
 	}
 }
 

@@ -52,4 +52,25 @@ grep -q 'engine: .* executed=0 ' "$smoke/warm.err" || {
     exit 1
 }
 
+# Journal smoke: two cold runs with -metrics-dir must produce
+# byte-identical run journals (the observability determinism contract:
+# canonical JSONL, sorted keys, fixed record order). No shared cache
+# dir — journals are only written when a job actually executes, so a
+# warm-cache replay would legitimately write none.
+echo '>> journal smoke: two cold runs write byte-identical journals'
+go run ./cmd/rwpexp -scale quick -exp E3 -j 4 -metrics-dir "$smoke/m1" \
+    >/dev/null 2>&1
+go run ./cmd/rwpexp -scale quick -exp E3 -j 1 -metrics-dir "$smoke/m2" \
+    >/dev/null 2>&1
+[ -n "$(ls "$smoke/m1"/*.jsonl 2>/dev/null)" ] || {
+    echo 'check.sh: FAIL: -metrics-dir produced no journals' >&2
+    exit 1
+}
+for j in "$smoke/m1"/*.jsonl; do
+    cmp "$j" "$smoke/m2/$(basename "$j")" || {
+        echo "check.sh: FAIL: journal $(basename "$j") differs between runs" >&2
+        exit 1
+    }
+done
+
 echo 'check.sh: all gates passed'
