@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint check check-short cover exps bench-engine
+.PHONY: build test lint check check-short cover exps bench-engine bench-live
 
 build:
 	go build ./...
@@ -37,3 +37,9 @@ exps:
 # records results/engine_speedup.txt.
 bench-engine:
 	scripts/bench_engine.sh
+
+# Measure the live KV cache's RWP-vs-LRU read-hit rate per workload
+# profile; records results/live_hitrate.txt and fails if RWP's geomean
+# drops below LRU.
+bench-live:
+	scripts/bench_live.sh

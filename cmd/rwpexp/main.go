@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,26 +33,35 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E11, A1..A4); empty = all")
-	list := flag.Bool("list", false, "print experiment ids and titles, then exit")
-	scale := flag.String("scale", "full", "quick|full")
-	csvDir := flag.String("csv", "", "directory to write per-experiment CSVs into")
-	benches := flag.String("benches", "", "comma-separated benchmark subset (default: full suite)")
-	jobs := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
-	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
-	metricsDir := flag.String("metrics-dir", "", "directory for per-job run journals (empty = no journals)")
-	probeWindow := flag.Uint64("probe-window", 0, "journal interval width in measured accesses (0 = default)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	verbose := flag.Bool("v", false, "print per-job progress lines to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwpexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id (E1..E11, A1..A4); empty = all")
+	list := fs.Bool("list", false, "print experiment ids and titles, then exit")
+	scale := fs.String("scale", "full", "quick|full")
+	csvDir := fs.String("csv", "", "directory to write per-experiment CSVs into")
+	benches := fs.String("benches", "", "comma-separated benchmark subset (default: full suite)")
+	jobs := fs.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
+	metricsDir := fs.String("metrics-dir", "", "directory for per-job run journals (empty = no journals)")
+	probeWindow := fs.Uint64("probe-window", 0, "journal interval width in measured accesses (0 = default)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	verbose := fs.Bool("v", false, "print per-job progress lines to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range exps.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var sc exps.Scale
@@ -61,13 +71,13 @@ func main() {
 	case "full":
 		sc = exps.Full
 	default:
-		fmt.Fprintf(os.Stderr, "rwpexp: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rwpexp: unknown scale %q\n", *scale)
+		return 2
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rwpexp: %v\n", err)
+			return 1
 		}
 	}
 
@@ -77,15 +87,15 @@ func main() {
 	if *cpuProfile != "" {
 		stop, err := startCPUProfile(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rwpexp: %v\n", err)
+			return 1
 		}
 		defer stop()
 	}
 	if *memProfile != "" {
 		defer func() {
 			if err := writeHeapProfile(*memProfile); err != nil {
-				fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
+				fmt.Fprintf(stderr, "rwpexp: %v\n", err)
 			}
 		}()
 	}
@@ -96,11 +106,11 @@ func main() {
 		MetricsDir:  *metricsDir,
 		ProbeWindow: *probeWindow,
 		Clock:       wallClock{},
-		Observer:    &jobObserver{w: os.Stderr, verbose: *verbose},
+		Observer:    &jobObserver{w: stderr, verbose: *verbose},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rwpexp: %v\n", err)
+		return 1
 	}
 	suite := exps.NewSuiteEngine(sc, eng)
 	if *benches != "" {
@@ -115,30 +125,31 @@ func main() {
 		selected = append(selected, e)
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "rwpexp: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rwpexp: unknown experiment %q\n", *exp)
+		return 2
 	}
-	if err := runExperiments(selected, suite, *csvDir); err != nil {
-		fmt.Fprintf(os.Stderr, "rwpexp: %v\n", err)
-		os.Exit(1)
+	if err := runExperiments(selected, suite, *csvDir, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "rwpexp: %v\n", err)
+		return 1
 	}
-	fmt.Fprintln(os.Stderr, engineLine(eng.Workers(), eng.Stats()))
+	fmt.Fprintln(stderr, engineLine(eng.Workers(), eng.Stats()))
+	return 0
 }
 
 // runExperiments renders each selected experiment in registry order,
 // with an ETA line between experiments once one has finished.
-func runExperiments(selected []exps.Experiment, suite *exps.Suite, csvDir string) error {
+func runExperiments(selected []exps.Experiment, suite *exps.Suite, csvDir string, stdout, stderr io.Writer) error {
 	suiteStart := time.Now()
 	for i, e := range selected {
 		if line := etaLine(i, len(selected), time.Since(suiteStart)); line != "" {
-			fmt.Fprintln(os.Stderr, line)
+			fmt.Fprintln(stderr, line)
 		}
-		prog := startProgress(os.Stderr, e.ID, e.Title)
+		prog := startProgress(stderr, e.ID, e.Title)
 		t, err := e.Run(suite)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(stdout); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if csvDir != "" {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errbuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errbuf); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errbuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"E1", "E11", "A1", "A4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-list output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"bad scale", []string{"-scale", "medium"}, 2},
+		{"unknown experiment", []string{"-exp", "E99", "-scale", "quick"}, 2},
+	} {
+		var out, errbuf bytes.Buffer
+		if code := run(tc.args, &out, &errbuf); code != tc.want {
+			t.Errorf("%s: run = %d, want %d (stderr: %s)", tc.name, code, tc.want, errbuf.String())
+		}
+	}
+}
+
+// TestRunSingleExperiment exercises the whole wiring — engine, suite,
+// table render, CSV output — on the smallest real experiment slice.
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	csvDir := t.TempDir()
+	var out, errbuf bytes.Buffer
+	args := []string{"-exp", "E3", "-scale", "quick", "-benches", "mcf,xalancbmk", "-csv", csvDir}
+	if code := run(args, &out, &errbuf); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errbuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"mcf", "xalancbmk"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errbuf.String(), "engine:") {
+		t.Errorf("engine summary missing from stderr:\n%s", errbuf.String())
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,45 +27,55 @@ import (
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "also list suppressed findings and their count")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "also list suppressed findings and their count")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rwplint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rwplint: %v\n", err)
+		return 2
 	}
 
 	var pkgs []*analysis.Package
-	args := flag.Args()
-	wholeModule := len(args) == 0 || (len(args) == 1 && args[0] == "./...")
+	rest := fs.Args()
+	wholeModule := len(rest) == 0 || (len(rest) == 1 && rest[0] == "./...")
 	if wholeModule {
 		pkgs, err = loader.LoadModule()
 	} else {
-		pkgs, err = loader.LoadDirs(args)
+		pkgs, err = loader.LoadDirs(rest)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rwplint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rwplint: %v\n", err)
+		return 2
 	}
 
 	findings := analysis.Run(analysis.Default(), pkgs)
 	unsuppressed := analysis.Unsuppressed(findings)
 	suppressed := len(findings) - len(unsuppressed)
 	for _, f := range unsuppressed {
-		fmt.Printf("%s:%d %s: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
+		fmt.Fprintf(stdout, "%s:%d %s: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
 	}
 	if *verbose {
 		for _, f := range findings {
 			if f.Suppressed {
-				fmt.Printf("%s:%d %s: suppressed: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
+				fmt.Fprintf(stdout, "%s:%d %s: suppressed: %s\n", relPath(loader.Root, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
 			}
 		}
-		fmt.Printf("rwplint: %d packages, %d findings (%d suppressed)\n", len(pkgs), len(findings), suppressed)
+		fmt.Fprintf(stdout, "rwplint: %d packages, %d findings (%d suppressed)\n", len(pkgs), len(findings), suppressed)
 	}
 	if len(unsuppressed) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // relPath renders file positions relative to the module root (or the

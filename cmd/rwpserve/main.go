@@ -1,0 +1,120 @@
+// Command rwpserve runs the live RWP key-value cache (internal/live)
+// as an HTTP service, and doubles as the deterministic harness around
+// it:
+//
+//	rwpserve                         serve /get /put /stats on -addr
+//	rwpserve -selftest 20000         run a seeded loadgen burst in
+//	                                 process, print /stats JSON, exit
+//	rwpserve -bench                  RWP vs LRU read-hit-rate bench
+//	                                 over workload profiles, exit
+//
+// The server endpoints:
+//
+//	GET  /get?key=K       value bytes; X-Cache: hit|fill|miss
+//	PUT  /put?key=K       body is the value; X-Cache: overwrite|insert
+//	GET  /stats           JSON aggregate (shard-count invariant)
+//
+// All wall-clock concerns (HTTP, shutdown signals) live here in cmd/;
+// internal/live itself is clocked purely by operation counts, so the
+// -selftest output is bit-identical across runs and across -shards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwpserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a free port)")
+	policyName := fs.String("policy", "rwp", "replacement policy: lru or rwp")
+	sets := fs.Int("sets", 1024, "total sets (power of two)")
+	ways := fs.Int("ways", 16, "ways per set")
+	shards := fs.Int("shards", 8, "lock shards (must divide sets; behavior-invariant)")
+	interval := fs.Uint64("interval", 0, "RWP repartition interval in per-set ops (0: default)")
+	valueSize := fs.Int("value-size", 0, "synthetic value size in bytes (0: default)")
+	noLoader := fs.Bool("no-loader", false, "disable the synthetic backing store (Get misses return 404)")
+	record := fs.Bool("record", true, "attach probe recorders (probe section of /stats)")
+	selftest := fs.Int("selftest", 0, "run N in-process loadgen ops, print /stats JSON, exit")
+	profile := fs.String("profile", "mcf", "workload profile for -selftest")
+	seed := fs.Uint64("seed", 0, "loadgen seed offset for -selftest")
+	bench := fs.Bool("bench", false, "run the RWP vs LRU bench and exit")
+	benchOps := fs.Int("bench-ops", 400_000, "measured ops per bench run")
+	benchWarmup := fs.Int("bench-warmup", 200_000, "warmup ops per bench run")
+	benchProfiles := fs.String("bench-profiles", "", "comma-separated bench profiles (default: cache-sensitive set)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rwpserve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = *sets, *ways, *shards
+	cfg.Policy = *policyName
+	cfg.Record = *record
+	if *interval > 0 {
+		cfg.RWP.Interval = *interval
+	}
+	if !*noLoader {
+		cfg.Loader = loadgen.Loader(*valueSize)
+	}
+
+	if *bench {
+		profiles := workload.SensitiveNames()
+		if *benchProfiles != "" {
+			profiles = strings.Split(*benchProfiles, ",")
+		}
+		if err := runBench(stdout, cfg, profiles, *benchWarmup, *benchOps, *valueSize); err != nil {
+			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	c, err := live.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+		return 2
+	}
+
+	if *selftest > 0 {
+		if err := runSelftest(stdout, c, *profile, *seed, *valueSize, *selftest); err != nil {
+			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if err := serve(*addr, c, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSelftest drives n single-goroutine loadgen ops against c and
+// prints the /stats payload. Deterministic: the output is bit-identical
+// across repeated runs and across shard counts.
+func runSelftest(w io.Writer, c *live.Cache, profile string, seed uint64, valSize, n int) error {
+	g, err := loadgen.New(profile, seed, valSize)
+	if err != nil {
+		return err
+	}
+	loadgen.Run(c, g, n)
+	return writeStatsJSON(w, c)
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+)
+
+func testCache(t *testing.T, loader bool) *live.Cache {
+	t.Helper()
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = 64, 4, 4
+	cfg.Record = true
+	if loader {
+		cfg.Loader = loadgen.Loader(8)
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHandlerPutGetStats(t *testing.T) {
+	srv := httptest.NewServer(newHandler(testCache(t, false)))
+	defer srv.Close()
+
+	// Miss without a loader: 404.
+	resp, err := http.Get(srv.URL + "/get?key=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("miss: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	// Insert, then overwrite.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/put?key=a", strings.NewReader("v1"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent || resp.Header.Get("X-Cache") != "insert" {
+		t.Fatalf("insert: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, err = http.Post(srv.URL+"/put?key=a", "application/octet-stream", strings.NewReader("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "overwrite" {
+		t.Fatalf("overwrite: X-Cache %q", resp.Header.Get("X-Cache"))
+	}
+
+	// Hit returns the latest value.
+	resp, err = http.Get(srv.URL + "/get?key=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" || string(body) != "v2" {
+		t.Fatalf("hit: status %d, X-Cache %q, body %q", resp.StatusCode, resp.Header.Get("X-Cache"), body)
+	}
+
+	// Stats reflect the traffic.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p statsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if p.Policy != "rwp" || p.Capacity != 256 {
+		t.Errorf("payload config: %+v", p)
+	}
+	if p.Stats.Gets != 2 || p.Stats.GetHits != 1 || p.Stats.Puts != 2 || p.Stats.PutInserts != 1 {
+		t.Errorf("payload counters: %+v", p.Stats.Counters)
+	}
+	if p.Probe == nil || p.Probe.Store.Accesses != 2 {
+		t.Errorf("payload probe section: %+v", p.Probe)
+	}
+}
+
+func TestHandlerLoaderFill(t *testing.T) {
+	srv := httptest.NewServer(newHandler(testCache(t, true)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/get?key=zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "fill" {
+		t.Fatalf("fill: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if want := loadgen.Value("zz", 8); !bytes.Equal(body, want) {
+		t.Fatalf("fill body %x, want %x", body, want)
+	}
+	// Now resident.
+	resp, err = http.Get(srv.URL + "/get?key=zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second get: X-Cache %q", resp.Header.Get("X-Cache"))
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	srv := httptest.NewServer(newHandler(testCache(t, false)))
+	defer srv.Close()
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/get", http.StatusBadRequest},
+		{http.MethodPut, "/put", http.StatusBadRequest},
+		{http.MethodGet, "/put?key=a", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestSelftestShardInvariance is the acceptance criterion in miniature:
+// the -selftest JSON is byte-identical across repeated runs and across
+// shard counts.
+func TestSelftestShardInvariance(t *testing.T) {
+	out := func(shards string) string {
+		var buf, errbuf bytes.Buffer
+		args := []string{"-selftest", "5000", "-sets", "128", "-ways", "4",
+			"-interval", "32", "-profile", "mcf", "-shards", shards}
+		if code := run(args, &buf, &errbuf); code != 0 {
+			t.Fatalf("run(shards=%s) = %d, stderr: %s", shards, code, errbuf.String())
+		}
+		return buf.String()
+	}
+	base := out("1")
+	if !strings.Contains(base, "\"Retargets\"") || strings.Contains(base, "\"Retargets\": 0,") {
+		t.Fatalf("selftest output shows no retargets:\n%s", base)
+	}
+	for _, shards := range []string{"1", "4", "128"} {
+		if got := out(shards); got != base {
+			t.Errorf("selftest output differs for shards=%s:\n%s\nvs base:\n%s", shards, got, base)
+		}
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	var buf, errbuf bytes.Buffer
+	args := []string{"-bench", "-bench-profiles", "mcf,wrf", "-sets", "128", "-ways", "4",
+		"-interval", "64", "-bench-warmup", "3000", "-bench-ops", "6000"}
+	if code := run(args, &buf, &errbuf); code != 0 {
+		t.Fatalf("bench run = %d, stderr: %s", code, errbuf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"profile", "mcf", "wrf", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"positional args", []string{"extra"}, 2},
+		{"bad policy", []string{"-selftest", "10", "-policy", "fifo"}, 2},
+		{"bad geometry", []string{"-selftest", "10", "-sets", "100"}, 2},
+		{"bad profile", []string{"-selftest", "10", "-profile", "nope"}, 1},
+		{"bad bench profile", []string{"-bench", "-bench-profiles", "nope"}, 1},
+	} {
+		var out, errbuf bytes.Buffer
+		if code := run(tc.args, &out, &errbuf); code != tc.want {
+			t.Errorf("%s: run = %d, want %d (stderr: %s)", tc.name, code, tc.want, errbuf.String())
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rwp/internal/live"
+	"rwp/internal/probe"
+)
+
+// statsPayload is the /stats JSON document. Every field is an
+// order-independent aggregate, so the payload is shard-count invariant
+// for a deterministic operation stream.
+type statsPayload struct {
+	Policy   string     `json:"policy"`
+	Sets     int        `json:"sets"`
+	Ways     int        `json:"ways"`
+	Capacity int        `json:"capacity"`
+	Stats    live.Stats `json:"stats"`
+	Probe    *probeView `json:"probe,omitempty"`
+}
+
+// probeView is the merged probe-recorder section.
+type probeView struct {
+	Load       probe.ClassCounters `json:"load"`
+	Store      probe.ClassCounters `json:"store"`
+	EvictClean uint64              `json:"evictClean"`
+	EvictDirty uint64              `json:"evictDirty"`
+}
+
+// Note: Shards is deliberately absent from the payload — it is a lock
+// layout detail, and keeping it out lets the determinism smoke compare
+// payloads across shard counts byte for byte.
+func snapshot(c *live.Cache) statsPayload {
+	cfg := c.Config()
+	p := statsPayload{
+		Policy:   cfg.Policy,
+		Sets:     cfg.Sets,
+		Ways:     cfg.Ways,
+		Capacity: c.Capacity(),
+		Stats:    c.Stats(),
+	}
+	if pr := c.ProbeStats(); pr != nil {
+		p.Probe = &probeView{
+			Load:       pr.Classes[probe.Load],
+			Store:      pr.Classes[probe.Store],
+			EvictClean: pr.EvictClean,
+			EvictDirty: pr.EvictDirty,
+		}
+	}
+	return p
+}
+
+// writeStatsJSON renders the /stats payload (also the -selftest output).
+func writeStatsJSON(w io.Writer, c *live.Cache) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snapshot(c))
+}
+
+// newHandler wires the cache's HTTP surface.
+func newHandler(c *live.Cache) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key parameter", http.StatusBadRequest)
+			return
+		}
+		v, hit := c.Get(key)
+		switch {
+		case hit:
+			w.Header().Set("X-Cache", "hit")
+		case v != nil:
+			w.Header().Set("X-Cache", "fill") // loader backfill
+		default:
+			w.Header().Set("X-Cache", "miss")
+			http.Error(w, "key not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(v)
+	})
+	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut && r.Method != http.MethodPost {
+			http.Error(w, "use PUT or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key parameter", http.StatusBadRequest)
+			return
+		}
+		val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if c.Put(key, val) {
+			w.Header().Set("X-Cache", "insert")
+		} else {
+			w.Header().Set("X-Cache", "overwrite")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := writeStatsJSON(w, c); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// serve listens on addr and runs the HTTP server until SIGINT/SIGTERM,
+// then drains in-flight requests via graceful shutdown.
+func serve(addr string, c *live.Cache, stdout, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	cfg := c.Config()
+	fmt.Fprintf(stdout, "rwpserve: policy=%s sets=%d ways=%d shards=%d listening on http://%s\n",
+		cfg.Policy, cfg.Sets, cfg.Ways, cfg.Shards, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: newHandler(c)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "rwpserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-errc // Serve returns http.ErrServerClosed after Shutdown
+	return nil
+}

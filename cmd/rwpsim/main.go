@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,36 +42,46 @@ func parseSize(s string) (int, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rwpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workloadName = flag.String("workload", "", "workload name (see -list)")
-		mix          = flag.String("mix", "", "comma-separated workloads for a shared-LLC run")
-		traceFile    = flag.String("trace", "", "binary trace file to simulate instead of a workload")
-		policyName   = flag.String("policy", "rwp", "LLC policy")
-		llcSize      = flag.String("llc", "", "LLC capacity override, e.g. 4MiB")
-		ways         = flag.Int("ways", 0, "LLC associativity override")
-		warmup       = flag.Uint64("warmup", 0, "warmup accesses per core")
-		measure      = flag.Uint64("measure", 0, "measured accesses per core")
-		list         = flag.Bool("list", false, "list workloads and policies, then exit")
-		seed         = flag.Uint64("seed", 0, "workload random-stream offset (robustness checks)")
+		workloadName = fs.String("workload", "", "workload name (see -list)")
+		mix          = fs.String("mix", "", "comma-separated workloads for a shared-LLC run")
+		traceFile    = fs.String("trace", "", "binary trace file to simulate instead of a workload")
+		policyName   = fs.String("policy", "rwp", "LLC policy")
+		llcSize      = fs.String("llc", "", "LLC capacity override, e.g. 4MiB")
+		ways         = fs.Int("ways", 0, "LLC associativity override")
+		warmup       = fs.Uint64("warmup", 0, "warmup accesses per core")
+		measure      = fs.Uint64("measure", 0, "measured accesses per core")
+		list         = fs.Bool("list", false, "list workloads and policies, then exit")
+		seed         = fs.Uint64("seed", 0, "workload random-stream offset (robustness checks)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("policies:", strings.Join(rwp.Policies(), " "))
-		fmt.Println("workloads (SENS = cache-sensitive):")
+		fmt.Fprintln(stdout, "policies:", strings.Join(rwp.Policies(), " "))
+		fmt.Fprintln(stdout, "workloads (SENS = cache-sensitive):")
 		for _, w := range rwp.Workloads() {
 			tag := "      "
 			if w.CacheSensitive {
 				tag = "SENS  "
 			}
-			fmt.Printf("  %s%-12s intensity=%.2f\n", tag, w.Name, w.MemIntensity)
+			fmt.Fprintf(stdout, "  %s%-12s intensity=%.2f\n", tag, w.Name, w.MemIntensity)
 		}
-		return
+		return 0
 	}
 
 	size, err := parseSize(*llcSize)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rwpsim:", err)
+		return 1
 	}
 	cfg := rwp.Config{
 		Policy:   *policyName,
@@ -85,43 +96,43 @@ func main() {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rwpsim:", err)
+			return 1
 		}
 		defer f.Close()
 		res, err := rwp.RunTrace(*traceFile, f, cfg)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rwpsim:", err)
+			return 1
 		}
-		printResult(res)
+		printResult(stdout, res)
 	case *mix != "":
 		names := strings.Split(*mix, ",")
 		res, err := rwp.RunMix(names, cfg)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rwpsim:", err)
+			return 1
 		}
-		fmt.Printf("policy=%s throughput=%.3f\n", res.Policy, res.Throughput)
+		fmt.Fprintf(stdout, "policy=%s throughput=%.3f\n", res.Policy, res.Throughput)
 		for _, r := range res.PerCore {
-			printResult(r)
+			printResult(stdout, r)
 		}
 	case *workloadName != "":
 		res, err := rwp.Run(*workloadName, cfg)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rwpsim:", err)
+			return 1
 		}
-		printResult(res)
+		printResult(stdout, res)
 	default:
-		fmt.Fprintln(os.Stderr, "rwpsim: need -workload or -mix (or -list)")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rwpsim: need -workload or -mix (or -list)")
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func printResult(r rwp.Result) {
-	fmt.Printf("%-12s policy=%-6s IPC=%.3f rdMPKI=%.2f totMPKI=%.2f WBPKI=%.2f llcReadHit=%.1f%%\n",
+func printResult(w io.Writer, r rwp.Result) {
+	fmt.Fprintf(w, "%-12s policy=%-6s IPC=%.3f rdMPKI=%.2f totMPKI=%.2f WBPKI=%.2f llcReadHit=%.1f%%\n",
 		r.Workload, r.Policy, r.IPC, r.ReadMPKI, r.TotalMPKI, r.WritebacksPKI, r.LLCReadHitRate*100)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rwpsim:", err)
-	os.Exit(1)
 }

@@ -41,6 +41,7 @@ type Loader struct {
 
 	std      types.Importer
 	imports  map[string]*types.Package // import-resolution packages (base files only)
+	override map[string]*types.Package // transient test-variant overrides (see loadDir)
 	checking map[string]bool           // cycle detection
 	sizes    types.Sizes
 }
@@ -63,6 +64,7 @@ func NewLoader(dir string) (*Loader, error) {
 		Fset:     fset,
 		std:      newStdImporter(fset),
 		imports:  make(map[string]*types.Package),
+		override: make(map[string]*types.Package),
 		checking: make(map[string]bool),
 		sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}, nil
@@ -148,14 +150,33 @@ func (l *Loader) loadDir(dir, path string) ([]*Package, error) {
 		return nil, nil
 	}
 	var out []*Package
+	var testVariant *types.Package
 	if len(base)+len(inTest) > 0 {
 		pkg, err := l.check(path, dir, append(append([]*ast.File{}, base...), inTest...))
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
+		testVariant = pkg.Types
 	}
 	if len(extTest) > 0 {
+		// `go test` compiles the external test package against the base
+		// package's *test variant* (in-package test files included), so
+		// helpers from export_test.go-style files resolve — and it
+		// rebuilds every intermediate dependency against that variant
+		// too, keeping type identity consistent. Mirror both: install a
+		// transient importer override for the package under test and
+		// re-check its dependents in a fresh memo so nothing resolves to
+		// the stale base-only variant.
+		if testVariant != nil {
+			l.override[path] = testVariant
+			saved := l.imports
+			l.imports = make(map[string]*types.Package)
+			defer func() {
+				l.imports = saved
+				delete(l.override, path)
+			}()
+		}
 		pkg, err := l.check(path+"_test", dir, extTest)
 		if err != nil {
 			return nil, err
@@ -237,6 +258,9 @@ func (l *Loader) importFor(path string) (*types.Package, error) {
 	}
 	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
 		return l.std.Import(path)
+	}
+	if pkg, ok := l.override[path]; ok {
+		return pkg, nil
 	}
 	if pkg, ok := l.imports[path]; ok {
 		return pkg, nil

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirExportTestHelpers regression-tests the test-variant import
+// rule: internal/live's external test package calls a helper defined in
+// an in-package export_test.go file, and internal/live/loadgen (also
+// imported by those tests) must resolve to the same type-identical
+// package. A loader that type-checks external tests against the
+// base-only variant fails this load.
+func TestLoadDirExportTestHelpers(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(loader.Root, "internal", "live")
+	pkgs, err := loader.LoadDirs([]string{dir})
+	if err != nil {
+		t.Fatalf("loading internal/live: %v", err)
+	}
+	var sawBase, sawExt bool
+	for _, p := range pkgs {
+		switch p.Path {
+		case "rwp/internal/live":
+			sawBase = true
+		case "rwp/internal/live_test":
+			sawExt = true
+		}
+	}
+	if !sawBase || !sawExt {
+		t.Fatalf("expected base and external test packages, got %d packages", len(pkgs))
+	}
+}
+
+// TestLoadDirsKeepsBaseVariantForOthers: after loading a package with
+// external tests, unrelated loads must still see the base-only variant
+// (the transient override must not leak).
+func TestLoadDirsKeepsBaseVariantForOthers(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(loader.Root, "internal", "live")
+	if _, err := loader.LoadDirs([]string{live}); err != nil {
+		t.Fatal(err)
+	}
+	if len(loader.override) != 0 {
+		t.Fatalf("override leaked: %d entries", len(loader.override))
+	}
+	serve := filepath.Join(loader.Root, "cmd", "rwpserve")
+	if _, err := loader.LoadDirs([]string{serve}); err != nil {
+		t.Fatalf("loading cmd/rwpserve after internal/live: %v", err)
+	}
+}

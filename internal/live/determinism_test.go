@@ -1,0 +1,98 @@
+package live_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+)
+
+// runProfile drives n single-goroutine loadgen operations for one
+// profile against a fresh cache with the given shard count and returns
+// the observable state.
+func runProfile(t *testing.T, profile string, shards, n int) (live.Stats, [2]uint64) {
+	t.Helper()
+	cfg := live.DefaultConfig()
+	cfg.Sets = 256
+	cfg.Ways = 8
+	cfg.Shards = shards
+	cfg.RWP.Interval = 32 // ~78 ops/set over n=20k: default 256 would never fire
+	cfg.Record = true
+	cfg.Loader = loadgen.Loader(0)
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadgen.New(profile, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadgen.Run(c, g, n)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	pr := c.ProbeStats()
+	return c.Stats(), [2]uint64{pr.Classes[0].Hits, pr.Classes[1].Hits}
+}
+
+// TestDeterministicAcrossRuns: the whole observable state — operation
+// counters, occupancy, RWP targets, merged probe counters — is
+// bit-identical when the same seeded stream is replayed.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	const n = 20_000
+	s1, p1 := runProfile(t, "mcf", 8, n)
+	s2, p2 := runProfile(t, "mcf", 8, n)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", s1, s2)
+	}
+	if p1 != p2 {
+		t.Fatalf("probe hit counters differ across identical runs: %v vs %v", p1, p2)
+	}
+	if s1.Gets == 0 || s1.Puts == 0 {
+		t.Fatalf("degenerate stream: %+v", s1.Counters)
+	}
+}
+
+// TestDeterministicAcrossShardCounts: resharding moves lock
+// boundaries, not behavior — a single-goroutine run is bit-identical
+// for every shard count.
+func TestDeterministicAcrossShardCounts(t *testing.T) {
+	const n = 20_000
+	base, pbase := runProfile(t, "xalancbmk", 1, n)
+	for _, shards := range []int{2, 4, 16, 256} {
+		s, p := runProfile(t, "xalancbmk", shards, n)
+		if !reflect.DeepEqual(base, s) {
+			t.Errorf("shards=%d: stats differ from shards=1:\n%+v\n%+v", shards, base, s)
+		}
+		if p != pbase {
+			t.Errorf("shards=%d: probe counters differ from shards=1: %v vs %v", shards, p, pbase)
+		}
+	}
+	if base.Retargets == 0 {
+		t.Error("RWP never repartitioned over 20k ops (interval clock broken?)")
+	}
+}
+
+// TestDeterministicSeedSensitivity: different seeds must actually
+// change the stream (otherwise the invariance tests prove nothing).
+func TestDeterministicSeedSensitivity(t *testing.T) {
+	mk := func(seed uint64) live.Stats {
+		cfg := live.DefaultConfig()
+		cfg.Sets, cfg.Ways, cfg.Shards = 64, 4, 4
+		cfg.Loader = loadgen.Loader(0)
+		c, err := live.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := loadgen.New("mcf", seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadgen.Run(c, g, 5000)
+		return c.Stats()
+	}
+	if reflect.DeepEqual(mk(0), mk(1)) {
+		t.Fatal("seed 0 and seed 1 produced identical stats")
+	}
+}

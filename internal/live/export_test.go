@@ -1,0 +1,49 @@
+package live
+
+import "fmt"
+
+// CheckInvariants recounts every set's structural state from scratch
+// and compares it with the incrementally maintained counters. Test-only
+// (export_test.go): the stress and determinism tests call it after
+// hammering the cache.
+func (c *Cache) CheckInvariants() error {
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		for i := range sh.sets {
+			ls := &sh.sets[i]
+			global := si*c.perShard + i
+			valid, dirty := 0, 0
+			seen := map[string]bool{}
+			for w := range ls.entries {
+				e := &ls.entries[w]
+				if !e.valid {
+					continue
+				}
+				valid++
+				if e.dirty {
+					dirty++
+				}
+				if seen[e.key] {
+					sh.mu.Unlock()
+					return fmt.Errorf("set %d: duplicate key %q", global, e.key)
+				}
+				seen[e.key] = true
+				if got := int(HashKey(e.key) & c.mask); got != global {
+					sh.mu.Unlock()
+					return fmt.Errorf("set %d holds key %q that hashes to set %d", global, e.key, got)
+				}
+				if e.line != 0 && uint64(e.line) != HashKey(e.key) {
+					sh.mu.Unlock()
+					return fmt.Errorf("set %d key %q: stale line identity", global, e.key)
+				}
+			}
+			if valid != ls.validCount || dirty != ls.dirtyCount {
+				sh.mu.Unlock()
+				return fmt.Errorf("set %d: counted valid=%d dirty=%d, cached valid=%d dirty=%d",
+					global, valid, dirty, ls.validCount, ls.dirtyCount)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+// Package live is a sharded, thread-safe, set-associative in-memory
+// key-value cache whose per-set replacement policy is the repo's RWP
+// mechanism (internal/core) — the paper's clean/dirty partitioning,
+// lifted out of the trace-driven simulator and put in front of real
+// concurrent get/put traffic.
+//
+// The mapping from KV operations onto the paper's access classes:
+//
+//   - Get is a demand load. A hit touches the line; a miss optionally
+//     fetches the value from a backing-store Loader and installs it as
+//     a *clean* fill (read-allocate), exactly like a demand-load fill
+//     in the simulator.
+//   - Put is a demand store. A hit overwrites the value and dirties
+//     the line; a miss installs the line dirty (write-allocate).
+//
+// Sharding vs determinism. The cache is split into Shards independent
+// lock domains, but the unit of replacement and of RWP's predictor is
+// the *set*: every set owns its own policy instance (shadow stacks,
+// histograms, dirty-partition target) whose interval clock is the
+// set's own operation count — never the wall clock, never a global
+// counter. A key maps to a global set index by hash, and a shard is
+// just a contiguous run of sets sharing one mutex. Consequently a
+// single-goroutine run is bit-identical across repeated runs AND
+// across shard counts: resharding moves lock boundaries, not behavior.
+// Under concurrent load the per-shard locks serialize each set's
+// stream, so all structural invariants hold (stress-tested with
+// -race); only the interleaving — and therefore the exact counter
+// values — is scheduling-dependent, as for any concurrent cache.
+//
+// Observability reuses internal/probe: with Config.Record set, each
+// shard owns a probe.Recorder (guarded by the shard mutex) that
+// receives the same AccessEvent/FillEvent/EvictEvent stream the
+// simulator's cache model emits, plus RWP retarget events from the
+// per-set policies. ProbeStats merges them order-independently, so
+// the /stats payload served by cmd/rwpserve is also shard-count
+// invariant.
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"rwp/internal/cache"
+	"rwp/internal/core"
+	"rwp/internal/mem"
+	"rwp/internal/policy"
+	"rwp/internal/probe"
+)
+
+// Loader fetches the backing-store value for a key (read-allocate on
+// Get misses). It must be deterministic and safe for concurrent use;
+// it is called with the key's shard lock held.
+type Loader func(key string) []byte
+
+// Config parameterizes a live cache.
+type Config struct {
+	// Sets is the total number of sets across all shards (a power of
+	// two; capacity = Sets*Ways entries).
+	Sets int
+	// Ways is the associativity of every set.
+	Ways int
+	// Shards is the number of independent lock domains; it must divide
+	// Sets. More shards means less lock contention, identical behavior.
+	Shards int
+	// Policy selects the per-set replacement mechanism: "lru" or "rwp".
+	Policy string
+	// RWP configures the per-set predictor when Policy is "rwp".
+	// Interval counts operations on one set between repartitionings.
+	RWP core.Config
+	// Loader, when non-nil, backfills Get misses with a clean fill.
+	Loader Loader
+	// Record attaches one probe.Recorder per shard; ProbeStats merges
+	// them. Off by default: the disabled path is a nil check per event.
+	Record bool
+}
+
+// DefaultRWPConfig returns the per-set predictor configuration: the
+// set itself is the (only) sampler set, and the repartition interval
+// is short because it is measured in per-set operations, not global
+// accesses (1024 sets at the default geometry each see 1/1024th of
+// the traffic).
+func DefaultRWPConfig() core.Config {
+	return core.Config{
+		SamplerSets:        1,
+		Interval:           256,
+		DecayShift:         1,
+		InitialDirtyTarget: -1,
+	}
+}
+
+// DefaultConfig returns a 16k-entry RWP cache split into 8 shards.
+func DefaultConfig() Config {
+	return Config{
+		Sets:   1024,
+		Ways:   16,
+		Shards: 8,
+		Policy: "rwp",
+		RWP:    DefaultRWPConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("live: Sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("live: Ways %d must be positive", c.Ways)
+	}
+	if c.Shards <= 0 || c.Sets%c.Shards != 0 {
+		return fmt.Errorf("live: Shards %d must be positive and divide Sets %d", c.Shards, c.Sets)
+	}
+	switch c.Policy {
+	case "lru":
+	case "rwp":
+		if err := c.RWP.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("live: unknown policy %q (want lru or rwp)", c.Policy)
+	}
+	return nil
+}
+
+// entry is one resident key-value pair.
+type entry struct {
+	key   string
+	val   []byte
+	line  mem.LineAddr // key hash: the policy's line identity
+	valid bool
+	dirty bool // written at fill or since (RWP's partition criterion)
+}
+
+// lset is one cache set. It implements cache.StateReader as a
+// single-set view so the simulator's policies plug in unchanged.
+type lset struct {
+	entries    []entry
+	pol        cache.Policy
+	rwp        *core.RWP // non-nil iff the policy is RWP
+	validCount int
+	dirtyCount int
+	ops        Counters
+}
+
+// NumSets implements cache.StateReader.
+func (s *lset) NumSets() int { return 1 }
+
+// Ways implements cache.StateReader.
+func (s *lset) Ways() int { return len(s.entries) }
+
+// State implements cache.StateReader.
+func (s *lset) State(_, way int) cache.LineState {
+	e := &s.entries[way]
+	return cache.LineState{Tag: e.line, Valid: e.valid, Dirty: e.dirty}
+}
+
+// ValidWays implements cache.StateReader.
+func (s *lset) ValidWays(int) int { return s.validCount }
+
+// DirtyWays implements cache.StateReader.
+func (s *lset) DirtyWays(int) int { return s.dirtyCount }
+
+// find returns the way holding key, or -1.
+func (s *lset) find(key string) int {
+	for w := range s.entries {
+		if e := &s.entries[w]; e.valid && e.key == key {
+			return w
+		}
+	}
+	return -1
+}
+
+// shard is one lock domain: a contiguous run of sets plus an optional
+// probe recorder, all guarded by mu.
+type shard struct {
+	mu   sync.Mutex
+	sets []lset
+	rec  *probe.Recorder // nil unless Config.Record
+}
+
+// Cache is the sharded live key-value cache.
+type Cache struct {
+	cfg      Config
+	mask     uint64
+	perShard int
+	shards   []*shard
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		mask:     uint64(cfg.Sets - 1),
+		perShard: cfg.Sets / cfg.Shards,
+		shards:   make([]*shard, cfg.Shards),
+	}
+	for si := range c.shards {
+		sh := &shard{sets: make([]lset, c.perShard)}
+		if cfg.Record {
+			sh.rec = probe.NewRecorder(0)
+		}
+		for i := range sh.sets {
+			ls := &sh.sets[i]
+			ls.entries = make([]entry, cfg.Ways)
+			switch cfg.Policy {
+			case "rwp":
+				p := core.New(cfg.RWP)
+				if sh.rec != nil {
+					p.SetProbe(sh.rec)
+				}
+				ls.rwp = p
+				ls.pol = p
+			default: // "lru", by Validate
+				ls.pol = policy.NewLRU()
+			}
+			ls.pol.Attach(ls)
+		}
+		c.shards[si] = sh
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Capacity returns the number of entries the cache can hold.
+func (c *Cache) Capacity() int { return c.cfg.Sets * c.cfg.Ways }
+
+// locate maps a key hash to its shard and set.
+func (c *Cache) locate(h uint64) (*shard, *lset) {
+	global := int(h & c.mask)
+	sh := c.shards[global/c.perShard]
+	return sh, &sh.sets[global%c.perShard]
+}
+
+// Get looks up key, returning a copy of the value and whether it was
+// resident. On a miss with a Loader configured, the value is fetched
+// and installed as a clean fill (read-allocate) before returning — so
+// the returned value is non-nil but hit is false.
+func (c *Cache) Get(key string) (val []byte, hit bool) {
+	h := HashKey(key)
+	sh, ls := c.locate(h)
+	ai := cache.AccessInfo{Line: mem.LineAddr(h), Class: cache.DemandLoad}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls.ops.Gets++
+	if way := ls.find(key); way >= 0 {
+		e := &ls.entries[way]
+		ls.ops.GetHits++
+		if sh.rec != nil {
+			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: true, LineDirty: e.dirty})
+		}
+		ls.pol.OnHit(0, way, ai)
+		return append([]byte(nil), e.val...), true
+	}
+	ls.ops.GetMisses++
+	if sh.rec != nil {
+		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: false})
+	}
+	if c.cfg.Loader == nil {
+		return nil, false
+	}
+	v := c.cfg.Loader(key)
+	ls.ops.Loads++
+	ls.fill(sh, key, mem.LineAddr(h), v, ai, false)
+	return append([]byte(nil), v...), false
+}
+
+// Put stores val under key: a dirty hit when resident (overwrite), a
+// dirty fill otherwise (write-allocate). It reports whether the key
+// was newly inserted.
+func (c *Cache) Put(key string, val []byte) (inserted bool) {
+	h := HashKey(key)
+	sh, ls := c.locate(h)
+	ai := cache.AccessInfo{Line: mem.LineAddr(h), Class: cache.DemandStore}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls.ops.Puts++
+	if way := ls.find(key); way >= 0 {
+		e := &ls.entries[way]
+		ls.ops.PutHits++
+		if sh.rec != nil {
+			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Store, Hit: true, LineDirty: e.dirty})
+		}
+		if !e.dirty {
+			e.dirty = true
+			ls.dirtyCount++
+		}
+		e.val = append(e.val[:0], val...)
+		ls.pol.OnHit(0, way, ai)
+		return false
+	}
+	ls.ops.PutInserts++
+	if sh.rec != nil {
+		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Store, Hit: false})
+	}
+	ls.fill(sh, key, mem.LineAddr(h), val, ai, true)
+	return true
+}
+
+// LevelName labels live-cache probe events (the simulator uses cache
+// level names like "LLC" here).
+const LevelName = "live"
+
+// fill installs (key, val) into the set, evicting the policy's victim
+// if the set is full. Called with the shard lock held.
+func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai cache.AccessInfo, dirty bool) {
+	way, bypass := ls.pol.Victim(0, ai)
+	if bypass {
+		// Neither LRU nor RWP ever bypasses; kept for policy-interface
+		// completeness.
+		ls.ops.Bypasses++
+		if sh.rec != nil {
+			sh.rec.CacheBypass(probe.BypassEvent{Level: LevelName, Class: probe.Class(ai.Class)})
+		}
+		return
+	}
+	e := &ls.entries[way]
+	if e.valid {
+		ls.ops.Evictions++
+		if e.dirty {
+			ls.ops.DirtyEvictions++
+			ls.dirtyCount--
+		}
+		if sh.rec != nil {
+			sh.rec.CacheEvict(probe.EvictEvent{Level: LevelName, Class: probe.Class(ai.Class), Dirty: e.dirty})
+		}
+		ls.pol.OnEvict(0, way, ai)
+	} else {
+		ls.validCount++
+	}
+	*e = entry{key: key, val: append([]byte(nil), val...), line: line, valid: true, dirty: dirty}
+	if dirty {
+		ls.dirtyCount++
+	}
+	ls.ops.Fills++
+	if dirty {
+		ls.ops.FillsDirty++
+	}
+	if sh.rec != nil {
+		sh.rec.CacheFill(probe.FillEvent{Level: LevelName, Class: probe.Class(ai.Class), Dirty: dirty})
+	}
+	ls.pol.OnFill(0, way, ai)
+}
+
+// HashKey is the deterministic 64-bit key hash used for set selection
+// and as the policy-visible line identity: FNV-1a with a SplitMix64
+// finalizer so the low bits (the set index) are well mixed.
+func HashKey(key string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

@@ -1,0 +1,129 @@
+package live
+
+import "rwp/internal/probe"
+
+// Counters are the per-set operation counters. Every field is a sum
+// over events, so aggregating them across sets is order-independent —
+// the root of the shard-count invariance guarantee.
+type Counters struct {
+	Gets      uint64 // Get operations
+	GetHits   uint64
+	GetMisses uint64
+	Puts       uint64 // Put operations
+	PutHits    uint64 // overwrites of a resident key
+	PutInserts uint64 // write-allocate fills
+	Loads          uint64 // backing-store fetches (read-allocate)
+	Fills          uint64
+	FillsDirty     uint64
+	Bypasses       uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// add accumulates o into c.
+func (c *Counters) add(o Counters) {
+	c.Gets += o.Gets
+	c.GetHits += o.GetHits
+	c.GetMisses += o.GetMisses
+	c.Puts += o.Puts
+	c.PutHits += o.PutHits
+	c.PutInserts += o.PutInserts
+	c.Loads += o.Loads
+	c.Fills += o.Fills
+	c.FillsDirty += o.FillsDirty
+	c.Bypasses += o.Bypasses
+	c.Evictions += o.Evictions
+	c.DirtyEvictions += o.DirtyEvictions
+}
+
+// ReadHitRate returns GetHits/Gets (0 when no Gets) — the quantity RWP
+// raises over LRU.
+func (c Counters) ReadHitRate() float64 {
+	if c.Gets == 0 {
+		return 0
+	}
+	return float64(c.GetHits) / float64(c.Gets)
+}
+
+// Stats is a point-in-time aggregate over every set.
+type Stats struct {
+	Counters
+	// Entries and DirtyEntries are the current occupancy totals.
+	Entries      int
+	DirtyEntries int
+	// Retargets counts RWP repartitionings summed over all sets (0 for
+	// LRU).
+	Retargets uint64
+	// TargetHist[d] counts the sets whose current dirty-partition
+	// target is d ways (nil for LRU).
+	TargetHist []uint64
+}
+
+// Stats aggregates the per-set counters and policy state. It locks one
+// shard at a time, so under concurrent load the aggregate is a
+// consistent sum of per-set snapshots, not a global atomic snapshot.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	if c.cfg.Policy == "rwp" {
+		s.TargetHist = make([]uint64, c.cfg.Ways+1)
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for i := range sh.sets {
+			ls := &sh.sets[i]
+			s.Counters.add(ls.ops)
+			s.Entries += ls.validCount
+			s.DirtyEntries += ls.dirtyCount
+			if ls.rwp != nil {
+				s.Retargets += ls.rwp.Intervals()
+				s.TargetHist[ls.rwp.TargetDirty()]++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// ProbeStats merges the per-shard probe recorders into one Recorder
+// holding the order-independent aggregates (class counters and the
+// eviction split; retarget sequences stay per-shard because their
+// interleaving depends on the shard layout). It returns nil when the
+// cache was built without Config.Record.
+func (c *Cache) ProbeStats() *probe.Recorder {
+	if !c.cfg.Record {
+		return nil
+	}
+	m := probe.NewRecorder(0)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for cl := probe.Class(0); cl < probe.NumClasses; cl++ {
+			m.Classes[cl].Add(sh.rec.Classes[cl])
+		}
+		m.EvictClean += sh.rec.EvictClean
+		m.EvictDirty += sh.rec.EvictDirty
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// ResetStats zeroes the operation counters and probe recorders (e.g.
+// after warmup), leaving cache contents and policy state untouched —
+// the same warmup/measure split the simulator uses.
+func (c *Cache) ResetStats() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for i := range sh.sets {
+			sh.sets[i].ops = Counters{}
+		}
+		if sh.rec != nil {
+			rec := probe.NewRecorder(0)
+			sh.rec = rec
+			for i := range sh.sets {
+				if sh.sets[i].rwp != nil {
+					sh.sets[i].rwp.SetProbe(rec)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,101 @@
+package live_test
+
+import (
+	"sync"
+	"testing"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+)
+
+// TestStressConcurrent hammers one cache from many goroutines (run
+// under -race by scripts/check.sh) and then checks that the per-set
+// counters are conserved exactly: every operation is accounted for,
+// whatever the interleaving.
+func TestStressConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		opsPer  = 5_000
+	)
+	for _, pol := range []string{"lru", "rwp"} {
+		t.Run(pol, func(t *testing.T) {
+			cfg := live.DefaultConfig()
+			cfg.Sets = 128
+			cfg.Ways = 4
+			cfg.Shards = 8
+			cfg.Policy = pol
+			cfg.Record = true
+			cfg.Loader = loadgen.Loader(0)
+			c, err := live.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					g, err := loadgen.New("mcf", seed, 0)
+					if err != nil {
+						panic(err)
+					}
+					loadgen.Run(c, g, opsPer)
+				}(uint64(w))
+			}
+			// Concurrent readers exercise Stats/ProbeStats against the
+			// writers (the race detector checks the locking).
+			stop := make(chan struct{})
+			var rg sync.WaitGroup
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = c.Stats()
+						_ = c.ProbeStats()
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			rg.Wait()
+
+			s := c.Stats()
+			if got := s.Gets + s.Puts; got != workers*opsPer {
+				t.Fatalf("ops lost: gets+puts = %d, want %d", got, workers*opsPer)
+			}
+			if s.GetHits+s.GetMisses != s.Gets {
+				t.Errorf("get split broken: %d+%d != %d", s.GetHits, s.GetMisses, s.Gets)
+			}
+			if s.PutHits+s.PutInserts != s.Puts {
+				t.Errorf("put split broken: %d+%d != %d", s.PutHits, s.PutInserts, s.Puts)
+			}
+			if s.Loads != s.GetMisses {
+				t.Errorf("loader misses: loads %d != get misses %d", s.Loads, s.GetMisses)
+			}
+			if s.Fills != s.PutInserts+s.Loads {
+				t.Errorf("fill conservation broken: %d != %d+%d", s.Fills, s.PutInserts, s.Loads)
+			}
+			if got := uint64(s.Entries); got != s.Fills-s.Evictions {
+				t.Errorf("occupancy broken: entries %d != fills %d - evictions %d", s.Entries, s.Fills, s.Evictions)
+			}
+			if s.Entries > c.Capacity() {
+				t.Errorf("entries %d exceed capacity %d", s.Entries, c.Capacity())
+			}
+			pr := c.ProbeStats()
+			if pr.Classes[0].Accesses != s.Gets || pr.Classes[1].Accesses != s.Puts {
+				t.Errorf("probe access totals %d/%d disagree with %d/%d",
+					pr.Classes[0].Accesses, pr.Classes[1].Accesses, s.Gets, s.Puts)
+			}
+			if pr.Evictions() != s.Evictions {
+				t.Errorf("probe evictions %d != stats %d", pr.Evictions(), s.Evictions)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

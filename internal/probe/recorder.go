@@ -18,6 +18,19 @@ type ClassCounters struct {
 	Bypasses   uint64
 }
 
+// Add accumulates o into c. Aggregators (internal/live merges one
+// Recorder per shard) use it to combine recorders order-independently.
+func (c *ClassCounters) Add(o ClassCounters) {
+	c.Accesses += o.Accesses
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.HitsClean += o.HitsClean
+	c.HitsDirty += o.HitsDirty
+	c.Fills += o.Fills
+	c.FillsDirty += o.FillsDirty
+	c.Bypasses += o.Bypasses
+}
+
 // PolicyCount is one (policy, kind) decision counter plus the last
 // observed value.
 type PolicyCount struct {

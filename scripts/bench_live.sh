@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# bench_live.sh — measure the live KV cache's read-hit rate under each
+# cache-sensitive workload profile's deterministic loadgen stream, once
+# with per-set LRU and once with per-set RWP (cmd/rwpserve -bench, in
+# process, single-goroutine: every number is reproducible bit for bit).
+# Writes results/live_hitrate.txt so RWP-vs-LRU drift shows up in
+# review diffs.
+#
+# Usage: scripts/bench_live.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=results/live_hitrate.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rwpserve" ./cmd/rwpserve
+
+echo ">> rwpserve -bench (RWP vs LRU read-hit rate per profile)"
+{
+    echo "# live cache RWP vs LRU read-hit rate (cmd/rwpserve -bench)"
+    echo "# deterministic: same numbers on every run and every host"
+    "$work/rwpserve" -bench
+} | tee "$out"
+
+# The paper's claim, live: RWP must not lose to LRU on the geomean of
+# read-hit-rate ratios over the cache-sensitive profiles.
+awk '$1 == "geomean" && $2 + 0 > 0 { if ($2 + 0 < 1.0) bad = 1 } END { exit bad }' "$out" || {
+    echo 'bench_live.sh: FAIL: RWP read-hit geomean below LRU' >&2
+    exit 1
+}

@@ -29,6 +29,11 @@ go test ./...
 if [ "$short" = 0 ]; then
     echo '>> go test -race ./...'
     go test -race ./...
+else
+    # Even the short gate race-checks the one package built for
+    # concurrency: the live cache's multi-goroutine stress test.
+    echo '>> go test -race -run Stress ./internal/live/...'
+    go test -race -run Stress ./internal/live/...
 fi
 
 # Engine smoke: run one experiment twice against the same cache dir.
@@ -72,5 +77,25 @@ for j in "$smoke/m1"/*.jsonl; do
         exit 1
     }
 done
+
+# Live-cache smoke: a seeded loadgen burst through the real rwpserve
+# binary must print bit-identical /stats JSON on every run AND at every
+# shard count — the live subsystem's determinism contract (sharding
+# moves lock boundaries, not behavior).
+echo '>> live smoke: rwpserve -selftest is shard-count invariant'
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf >"$smoke/live1.json"
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf >"$smoke/live2.json"
+cmp "$smoke/live1.json" "$smoke/live2.json" || {
+    echo 'check.sh: FAIL: rwpserve -selftest differs between identical runs' >&2
+    exit 1
+}
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 32 \
+    -profile mcf >"$smoke/live32.json"
+cmp "$smoke/live1.json" "$smoke/live32.json" || {
+    echo 'check.sh: FAIL: rwpserve -selftest differs between -shards 1 and 32' >&2
+    exit 1
+}
 
 echo 'check.sh: all gates passed'
