@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint check check-short cover exps bench-engine bench-live
+.PHONY: build test lint check check-short cover exps bench-engine bench-live bench-proto
 
 build:
 	go build ./...
@@ -43,3 +43,9 @@ bench-engine:
 # drops below LRU.
 bench-live:
 	scripts/bench_live.sh
+
+# Measure the binary protocol against HTTP on the same loadgen stream;
+# records results/proto_bench.txt and fails if the batched pipelined
+# binary path falls below 2x HTTP throughput.
+bench-proto:
+	scripts/bench_proto.sh

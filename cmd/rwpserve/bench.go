@@ -18,11 +18,13 @@ type benchRow struct {
 // runBench measures the read-hit rate of the live cache under each
 // profile's loadgen stream, once with per-set LRU and once with per-set
 // RWP, using the simulator's warmup/measure discipline: warm ops, reset
-// stats, measure ops. In-process and single-goroutine, so every number
-// is deterministic.
-func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure, valSize int) error {
-	fmt.Fprintf(w, "live cache bench: %d sets x %d ways, warmup %d ops, measure %d ops\n",
-		base.Sets, base.Ways, warmup, measure)
+// stats, measure ops. The stream is driven through the chosen transport
+// (direct, http, or tcp) — a single-goroutine client either way, so
+// every number is deterministic and transport-invariant; batch and
+// depth only shape the tcp transport's framing.
+func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure, valSize int, transport string, batch, depth int) error {
+	fmt.Fprintf(w, "live cache bench: %d sets x %d ways, warmup %d ops, measure %d ops, transport %s\n",
+		base.Sets, base.Ways, warmup, measure, transport)
 	fmt.Fprintf(w, "%-12s %10s %10s %8s\n", "profile", "lru", "rwp", "rwp/lru")
 	var rows []benchRow
 	for _, prof := range profiles {
@@ -39,9 +41,20 @@ func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure,
 			if err != nil {
 				return err
 			}
-			loadgen.Run(c, g, warmup)
+			tgt, err := newTarget(transport, c, batch, depth)
+			if err != nil {
+				return err
+			}
+			if err := tgt.replay(g.Batch(warmup)); err != nil {
+				tgt.Close()
+				return err
+			}
 			c.ResetStats()
-			loadgen.Run(c, g, measure)
+			if err := tgt.replay(g.Batch(measure)); err != nil {
+				tgt.Close()
+				return err
+			}
+			tgt.Close()
 			hr := c.Stats().ReadHitRate()
 			if pol == "lru" {
 				row.lru = hr

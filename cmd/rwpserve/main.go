@@ -1,30 +1,42 @@
 // Command rwpserve runs the live RWP key-value cache (internal/live)
-// as an HTTP service, and doubles as the deterministic harness around
-// it:
+// as a network service, and doubles as the deterministic harness
+// around it:
 //
 //	rwpserve                         serve /get /put /stats on -addr
-//	rwpserve -selftest 20000         run a seeded loadgen burst in
-//	                                 process, print /stats JSON, exit
+//	rwpserve -tcp :8345              additionally serve the binary
+//	                                 protocol (internal/live/proto)
+//	rwpserve -selftest 20000         run a seeded loadgen burst through
+//	                                 -transport, print /stats JSON, exit
 //	rwpserve -bench                  RWP vs LRU read-hit-rate bench
 //	                                 over workload profiles, exit
+//	rwpserve -proto-bench            binary vs HTTP throughput/latency
+//	                                 bench, exit
 //
-// The server endpoints:
+// The HTTP endpoints:
 //
 //	GET  /get?key=K       value bytes; X-Cache: hit|fill|miss
 //	PUT  /put?key=K       body is the value; X-Cache: overwrite|insert
 //	GET  /stats           JSON aggregate (shard-count invariant)
 //
-// All wall-clock concerns (HTTP, shutdown signals) live here in cmd/;
-// internal/live itself is clocked purely by operation counts, so the
-// -selftest output is bit-identical across runs and across -shards.
+// The binary listener speaks the frame protocol documented in
+// internal/live/proto: pipelined GET/PUT/MGET/MPUT/STATS/PING with the
+// same cache semantics as HTTP (STATS returns the /stats body verbatim).
+//
+// All wall-clock concerns (HTTP, shutdown signals, bench timing) live
+// here in cmd/; internal/live itself is clocked purely by operation
+// counts, so the -selftest output is bit-identical across runs, across
+// -shards, and across -transport.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rwp/internal/live"
 	"rwp/internal/live/loadgen"
@@ -32,14 +44,18 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is main's testable body.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is main's testable body. ctx cancellation triggers graceful
+// server shutdown (main wires it to SIGINT/SIGTERM).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rwpserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a free port)")
+	addr := fs.String("addr", "127.0.0.1:8344", "HTTP listen address (host:port; :0 picks a free port)")
+	tcpAddr := fs.String("tcp", "", "binary-protocol listen address (empty: HTTP only)")
 	policyName := fs.String("policy", "rwp", "replacement policy: lru or rwp")
 	sets := fs.Int("sets", 1024, "total sets (power of two)")
 	ways := fs.Int("ways", 16, "ways per set")
@@ -48,18 +64,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	valueSize := fs.Int("value-size", 0, "synthetic value size in bytes (0: default)")
 	noLoader := fs.Bool("no-loader", false, "disable the synthetic backing store (Get misses return 404)")
 	record := fs.Bool("record", true, "attach probe recorders (probe section of /stats)")
-	selftest := fs.Int("selftest", 0, "run N in-process loadgen ops, print /stats JSON, exit")
-	profile := fs.String("profile", "mcf", "workload profile for -selftest")
-	seed := fs.Uint64("seed", 0, "loadgen seed offset for -selftest")
+	selftest := fs.Int("selftest", 0, "run N loadgen ops through -transport, print /stats JSON, exit")
+	profile := fs.String("profile", "mcf", "workload profile for -selftest and -proto-bench")
+	seed := fs.Uint64("seed", 0, "loadgen seed offset for -selftest and -proto-bench")
+	transport := fs.String("transport", "direct", "transport for -selftest/-bench: direct, http, or tcp")
+	batch := fs.Int("batch", 64, "max ops per binary MGET/MPUT frame (tcp transport)")
+	pipeline := fs.Int("pipeline", 8, "frames per pipelined flush (tcp transport)")
 	bench := fs.Bool("bench", false, "run the RWP vs LRU bench and exit")
 	benchOps := fs.Int("bench-ops", 400_000, "measured ops per bench run")
 	benchWarmup := fs.Int("bench-warmup", 200_000, "warmup ops per bench run")
 	benchProfiles := fs.String("bench-profiles", "", "comma-separated bench profiles (default: cache-sensitive set)")
+	protoBench := fs.Bool("proto-bench", false, "run the binary-vs-HTTP transport bench and exit")
+	protoOps := fs.Int("proto-ops", 20_000, "ops per -proto-bench leg")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "rwpserve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	tr, err := parseTransport(*transport)
+	if err != nil {
+		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 		return 2
 	}
 
@@ -79,7 +105,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *benchProfiles != "" {
 			profiles = strings.Split(*benchProfiles, ",")
 		}
-		if err := runBench(stdout, cfg, profiles, *benchWarmup, *benchOps, *valueSize); err != nil {
+		if err := runBench(stdout, cfg, profiles, *benchWarmup, *benchOps, *valueSize, tr, *batch, *pipeline); err != nil {
+			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *protoBench {
+		if err := runProtoBench(stdout, cfg, *profile, *seed, *valueSize, *protoOps, *batch, *pipeline); err != nil {
 			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 			return 1
 		}
@@ -93,28 +127,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *selftest > 0 {
-		if err := runSelftest(stdout, c, *profile, *seed, *valueSize, *selftest); err != nil {
+		if err := runSelftest(stdout, c, tr, *profile, *seed, *valueSize, *selftest, *batch, *pipeline); err != nil {
 			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	if err := serve(*addr, c, stdout, stderr); err != nil {
+	if err := serve(ctx, *addr, *tcpAddr, c, stdout, stderr); err != nil {
 		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-// runSelftest drives n single-goroutine loadgen ops against c and
-// prints the /stats payload. Deterministic: the output is bit-identical
-// across repeated runs and across shard counts.
-func runSelftest(w io.Writer, c *live.Cache, profile string, seed uint64, valSize, n int) error {
+// runSelftest drives n single-goroutine loadgen ops against c through
+// the chosen transport and prints the stats payload fetched through
+// that same transport. Deterministic: the output is bit-identical
+// across repeated runs, across shard counts, and across transports —
+// the differential tests compare these bytes directly.
+func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uint64, valSize, n, batch, depth int) error {
 	g, err := loadgen.New(profile, seed, valSize)
 	if err != nil {
 		return err
 	}
-	loadgen.Run(c, g, n)
-	return writeStatsJSON(w, c)
+	tgt, err := newTarget(transport, c, batch, depth)
+	if err != nil {
+		return err
+	}
+	defer tgt.Close()
+	if err := tgt.replay(g.Batch(n)); err != nil {
+		return err
+	}
+	data, err := tgt.statsJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+)
+
+// transportLeg is one transport's measured numbers. The latency unit
+// differs by design: HTTP is timed per request (its natural unit),
+// the binary protocol per pipelined flush (one write burst of up to
+// `depth` frames and its replies) — the comparison the bench exists
+// for is throughput, where both legs count the same ops.
+type transportLeg struct {
+	name     string
+	unit     string // what one latency sample spans
+	opsPerS  float64
+	p50, p99 time.Duration
+}
+
+// runProtoBench replays one seeded loadgen stream through HTTP
+// (request per op) and the binary protocol (batched MGET/MPUT frames,
+// pipelined `depth` deep) against identically configured caches, and
+// reports throughput plus p50/p99 latency for each. Wall-clock timing
+// lives here in cmd/; both caches see the exact same deterministic op
+// stream, so the hit-rate work per op is identical across legs.
+func runProtoBench(w io.Writer, base live.Config, profile string, seed uint64, valSize, ops, batch, depth int) error {
+	if batch <= 0 {
+		batch = 1
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	g, err := loadgen.New(profile, seed, valSize)
+	if err != nil {
+		return err
+	}
+	stream := g.Batch(ops)
+	fmt.Fprintf(w, "proto bench: profile=%s ops=%d batch=%d pipeline=%d sets=%d ways=%d\n",
+		profile, ops, batch, depth, base.Sets, base.Ways)
+
+	legs := make([]transportLeg, 0, 2)
+	httpLeg, err := benchHTTP(base, stream)
+	if err != nil {
+		return err
+	}
+	legs = append(legs, httpLeg)
+	tcpLeg, err := benchTCP(base, stream, batch, depth)
+	if err != nil {
+		return err
+	}
+	legs = append(legs, tcpLeg)
+
+	fmt.Fprintf(w, "%-8s %12s %10s %10s  %s\n", "leg", "ops/s", "p50(us)", "p99(us)", "latency unit")
+	for _, leg := range legs {
+		fmt.Fprintf(w, "%-8s %12.0f %10.1f %10.1f  %s\n",
+			leg.name, leg.opsPerS,
+			float64(leg.p50)/float64(time.Microsecond),
+			float64(leg.p99)/float64(time.Microsecond),
+			leg.unit)
+	}
+	ratio := tcpLeg.opsPerS / httpLeg.opsPerS
+	fmt.Fprintf(w, "binary/http throughput ratio: %.2fx\n", ratio)
+	return nil
+}
+
+// benchHTTP times the stream as one HTTP request per op.
+func benchHTTP(base live.Config, stream []loadgen.Op) (transportLeg, error) {
+	c, err := live.New(base)
+	if err != nil {
+		return transportLeg{}, err
+	}
+	tgt, err := newTarget("http", c, 0, 0)
+	if err != nil {
+		return transportLeg{}, err
+	}
+	defer tgt.Close()
+	ht := tgt.(*httpTarget)
+
+	lat := make([]time.Duration, 0, len(stream))
+	start := time.Now()
+	for i := range stream {
+		t0 := time.Now()
+		if err := ht.do(&stream[i]); err != nil {
+			return transportLeg{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	return legFrom("http", "per request (1 op)", len(stream), time.Since(start), lat), nil
+}
+
+// benchTCP times the stream as batched frames, `depth` frames per
+// pipelined flush; each latency sample is one Flush round trip.
+func benchTCP(base live.Config, stream []loadgen.Op, batch, depth int) (transportLeg, error) {
+	c, err := live.New(base)
+	if err != nil {
+		return transportLeg{}, err
+	}
+	tgt, err := newTarget("tcp", c, batch, depth)
+	if err != nil {
+		return transportLeg{}, err
+	}
+	defer tgt.Close()
+	tt := tgt.(*tcpTarget)
+
+	runs := loadgen.Runs(stream, batch)
+	var lat []time.Duration
+	start := time.Now()
+	for _, run := range runs {
+		if err := tt.queueRun(run); err != nil {
+			return transportLeg{}, err
+		}
+		if tt.cli.Depth() >= depth {
+			t0 := time.Now()
+			if _, err := tt.cli.Flush(); err != nil {
+				return transportLeg{}, err
+			}
+			lat = append(lat, time.Since(t0))
+		}
+	}
+	if tt.cli.Depth() > 0 {
+		t0 := time.Now()
+		if _, err := tt.cli.Flush(); err != nil {
+			return transportLeg{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	unit := fmt.Sprintf("per flush (<=%d frames x <=%d ops)", depth, batch)
+	return legFrom("binary", unit, len(stream), time.Since(start), lat), nil
+}
+
+// legFrom assembles a leg's summary numbers.
+func legFrom(name, unit string, ops int, elapsed time.Duration, lat []time.Duration) transportLeg {
+	leg := transportLeg{name: name, unit: unit}
+	if elapsed > 0 {
+		leg.opsPerS = float64(ops) / elapsed.Seconds()
+	}
+	leg.p50 = percentile(lat, 0.50)
+	leg.p99 = percentile(lat, 0.99)
+	return leg
+}
+
+// percentile is the nearest-rank percentile of the samples.
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := slices.Clone(lat)
+	slices.Sort(s)
+	i := int(p*float64(len(s)-1) + 0.5)
+	return s[i]
+}

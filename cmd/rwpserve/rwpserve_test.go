@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -150,7 +151,7 @@ func TestSelftestShardInvariance(t *testing.T) {
 		var buf, errbuf bytes.Buffer
 		args := []string{"-selftest", "5000", "-sets", "128", "-ways", "4",
 			"-interval", "32", "-profile", "mcf", "-shards", shards}
-		if code := run(args, &buf, &errbuf); code != 0 {
+		if code := run(context.Background(), args, &buf, &errbuf); code != 0 {
 			t.Fatalf("run(shards=%s) = %d, stderr: %s", shards, code, errbuf.String())
 		}
 		return buf.String()
@@ -170,13 +171,71 @@ func TestBenchSmoke(t *testing.T) {
 	var buf, errbuf bytes.Buffer
 	args := []string{"-bench", "-bench-profiles", "mcf,wrf", "-sets", "128", "-ways", "4",
 		"-interval", "64", "-bench-warmup", "3000", "-bench-ops", "6000"}
-	if code := run(args, &buf, &errbuf); code != 0 {
+	if code := run(context.Background(), args, &buf, &errbuf); code != 0 {
 		t.Fatalf("bench run = %d, stderr: %s", code, errbuf.String())
 	}
 	out := buf.String()
 	for _, want := range []string{"profile", "mcf", "wrf", "geomean"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSelftestTransportInvariance: the -selftest JSON is byte-identical
+// across -transport values through the real flag surface.
+func TestSelftestTransportInvariance(t *testing.T) {
+	out := func(transport string) string {
+		var buf, errbuf bytes.Buffer
+		args := []string{"-selftest", "2000", "-sets", "64", "-ways", "4",
+			"-profile", "mcf", "-transport", transport, "-batch", "16", "-pipeline", "4"}
+		if code := run(context.Background(), args, &buf, &errbuf); code != 0 {
+			t.Fatalf("run(transport=%s) = %d, stderr: %s", transport, code, errbuf.String())
+		}
+		return buf.String()
+	}
+	base := out("direct")
+	for _, transport := range []string{"http", "tcp"} {
+		if got := out(transport); got != base {
+			t.Errorf("selftest output differs for transport=%s:\n%s\nvs base:\n%s", transport, got, base)
+		}
+	}
+}
+
+// TestBenchTCPTransport: -bench works end to end over the binary
+// protocol and reports the same deterministic hit rates as direct.
+func TestBenchTCPTransport(t *testing.T) {
+	out := func(transport string) string {
+		var buf, errbuf bytes.Buffer
+		args := []string{"-bench", "-bench-profiles", "mcf", "-sets", "64", "-ways", "4",
+			"-bench-warmup", "500", "-bench-ops", "1000", "-transport", transport}
+		if code := run(context.Background(), args, &buf, &errbuf); code != 0 {
+			t.Fatalf("bench(transport=%s) = %d, stderr: %s", transport, code, errbuf.String())
+		}
+		// The header names the transport; strip it before comparing the
+		// numbers, which must be transport-invariant.
+		_, rest, ok := strings.Cut(buf.String(), "\n")
+		if !ok {
+			t.Fatalf("bench output has no header:\n%s", buf.String())
+		}
+		return rest
+	}
+	if direct, tcp := out("direct"), out("tcp"); direct != tcp {
+		t.Errorf("bench numbers differ between transports:\n%s\nvs\n%s", direct, tcp)
+	}
+}
+
+func TestProtoBenchSmoke(t *testing.T) {
+	var buf, errbuf bytes.Buffer
+	args := []string{"-proto-bench", "-proto-ops", "800", "-sets", "64", "-ways", "4",
+		"-batch", "16", "-pipeline", "4"}
+	if code := run(context.Background(), args, &buf, &errbuf); code != 0 {
+		t.Fatalf("proto-bench run = %d, stderr: %s", code, errbuf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"proto bench:", "http", "binary", "throughput ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("proto-bench output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -193,9 +252,11 @@ func TestRunFlagErrors(t *testing.T) {
 		{"bad geometry", []string{"-selftest", "10", "-sets", "100"}, 2},
 		{"bad profile", []string{"-selftest", "10", "-profile", "nope"}, 1},
 		{"bad bench profile", []string{"-bench", "-bench-profiles", "nope"}, 1},
+		{"bad transport", []string{"-selftest", "10", "-transport", "carrier-pigeon"}, 2},
+		{"bad proto-bench profile", []string{"-proto-bench", "-profile", "nope"}, 1},
 	} {
 		var out, errbuf bytes.Buffer
-		if code := run(tc.args, &out, &errbuf); code != tc.want {
+		if code := run(context.Background(), tc.args, &out, &errbuf); code != tc.want {
 			t.Errorf("%s: run = %d, want %d (stderr: %s)", tc.name, code, tc.want, errbuf.String())
 		}
 	}

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"os/signal"
-	"syscall"
+	"os"
+	"sync"
 	"time"
 
 	"rwp/internal/live"
+	"rwp/internal/live/proto"
 	"rwp/internal/probe"
 )
 
@@ -58,11 +61,28 @@ func snapshot(c *live.Cache) statsPayload {
 	return p
 }
 
-// writeStatsJSON renders the /stats payload (also the -selftest output).
+// writeStatsJSON renders the /stats payload (also the -selftest output
+// and the binary protocol's STATS document — one renderer for every
+// transport, which is what makes them byte-comparable).
 func writeStatsJSON(w io.Writer, c *live.Cache) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snapshot(c))
+}
+
+// backend adapts *live.Cache to proto.Backend: Get/Put pass through,
+// StatsJSON renders the exact /stats HTTP body.
+type backend struct {
+	*live.Cache
+}
+
+// StatsJSON implements proto.Backend.
+func (b backend) StatsJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeStatsJSON(&buf, b.Cache); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // newHandler wires the cache's HTTP surface.
@@ -119,10 +139,106 @@ func newHandler(c *live.Cache) http.Handler {
 	return mux
 }
 
-// serve listens on addr and runs the HTTP server until SIGINT/SIGTERM,
-// then drains in-flight requests via graceful shutdown.
-func serve(addr string, c *live.Cache, stdout, stderr io.Writer) error {
-	ln, err := net.Listen("tcp", addr)
+// tcpServer accepts binary-protocol connections and serves each with
+// proto.ServeConn until Shutdown.
+type tcpServer struct {
+	ln     net.Listener
+	b      proto.Backend
+	stderr io.Writer
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup // accept loop + one per live connection
+}
+
+// newTCPServer wraps an already-bound listener.
+func newTCPServer(ln net.Listener, b proto.Backend, stderr io.Writer) *tcpServer {
+	return &tcpServer{ln: ln, b: b, stderr: stderr, conns: map[net.Conn]struct{}{}}
+}
+
+// serve runs the accept loop until the listener closes. It returns nil
+// after a Shutdown-initiated close.
+func (s *tcpServer) serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			err := proto.ServeConn(conn, s.b)
+			if err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				// Protocol violations and transport failures are peer
+				// problems, not server state: log and move on.
+				fmt.Fprintf(s.stderr, "rwpserve: tcp %s: %v\n", conn.RemoteAddr(), err)
+			}
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// shutdown stops accepting, expires every connection's read deadline
+// so loops blocked at a frame boundary exit (in-flight responses still
+// flush — the framed-protocol analogue of http.Server closing idle
+// connections), then waits for the drain until ctx expires, after
+// which the stragglers are closed hard.
+func (s *tcpServer) shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close() // unblocks ServeConn reads; order irrelevant
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// shutdownTimeout bounds the graceful drain of both servers.
+const shutdownTimeout = 5 * time.Second
+
+// serve listens on httpAddr (HTTP: /get /put /stats) and, when tcpAddr
+// is non-empty, on tcpAddr (binary protocol), then runs both servers
+// until ctx is cancelled (SIGINT/SIGTERM in main) or either listener
+// fails. Shutdown is shared and ordered: both listeners stop accepting,
+// then both drain in-flight work within shutdownTimeout.
+func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return err
 	}
@@ -130,24 +246,51 @@ func serve(addr string, c *live.Cache, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "rwpserve: policy=%s sets=%d ways=%d shards=%d listening on http://%s\n",
 		cfg.Policy, cfg.Sets, cfg.Ways, cfg.Shards, ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	var tsrv *tcpServer
+	errc := make(chan error, 2)
+	if tcpAddr != "" {
+		tln, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Fprintf(stdout, "rwpserve: binary protocol listening on tcp://%s\n", tln.Addr())
+		tsrv = newTCPServer(tln, backend{c}, stderr)
+		go func() { errc <- tsrv.serve() }()
+	}
 
 	srv := &http.Server{Handler: newHandler(c)}
-	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
+		// One server failed (or, for TCP, exited): tear the other down.
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		srv.Shutdown(sctx)
+		if tsrv != nil {
+			tsrv.shutdown(sctx)
+		}
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stdout, "rwpserve: shutting down")
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
+	// Ordering: the HTTP drain first (it owns request lifecycles), the
+	// binary listener second; both share the one deadline.
 	if err := srv.Shutdown(sctx); err != nil {
+		if tsrv != nil {
+			tsrv.shutdown(sctx)
+		}
 		return err
 	}
-	<-errc // Serve returns http.ErrServerClosed after Shutdown
+	if tsrv != nil {
+		if err := tsrv.shutdown(sctx); err != nil {
+			return err
+		}
+		<-errc // tcp serve() returns nil after shutdown
+	}
+	<-errc // http Serve returns ErrServerClosed after Shutdown
 	return nil
 }

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/live/proto"
+)
+
+// target replays a loadgen op stream against one cache through one
+// transport. Implementations must be single-goroutine deterministic:
+// the same stream through any transport yields byte-identical stats
+// (the differential tests compare them directly).
+type target interface {
+	// replay issues ops in stream order.
+	replay(ops []loadgen.Op) error
+	// statsJSON fetches the stats document through the transport.
+	statsJSON() ([]byte, error)
+	// Close releases any server/client the target spun up.
+	Close() error
+}
+
+// newTarget builds the named transport around c. batch is the maximum
+// ops one binary MGET/MPUT frame carries; depth is how many frames the
+// binary client pipelines per flush (both ignored by direct/http).
+func newTarget(transport string, c *live.Cache, batch, depth int) (target, error) {
+	switch transport {
+	case "direct":
+		return directTarget{c: c}, nil
+	case "http":
+		srv := httptest.NewServer(newHandler(c))
+		return &httpTarget{srv: srv, client: srv.Client()}, nil
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		tsrv := newTCPServer(ln, backend{c}, io.Discard)
+		go tsrv.serve()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if batch <= 0 {
+			batch = 1
+		}
+		if depth <= 0 {
+			depth = 1
+		}
+		return &tcpTarget{tsrv: tsrv, conn: conn, cli: proto.NewClient(conn), batch: batch, depth: depth}, nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want direct, http, or tcp)", transport)
+	}
+}
+
+// directTarget calls the cache in process — the PR-4 baseline.
+type directTarget struct{ c *live.Cache }
+
+func (t directTarget) replay(ops []loadgen.Op) error {
+	loadgen.ApplyAll(t.c, ops)
+	return nil
+}
+
+func (t directTarget) statsJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeStatsJSON(&buf, t.c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (t directTarget) Close() error { return nil }
+
+// httpTarget drives the HTTP surface: one request per op, exactly like
+// an external client of /get and /put.
+type httpTarget struct {
+	srv    *httptest.Server
+	client *http.Client
+}
+
+func (t *httpTarget) replay(ops []loadgen.Op) error {
+	for i := range ops {
+		if err := t.do(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// do issues one op as one HTTP request — also the unit the proto bench
+// times for HTTP latency samples.
+func (t *httpTarget) do(op *loadgen.Op) error {
+	if op.Put {
+		req, err := http.NewRequest(http.MethodPut,
+			t.srv.URL+"/put?key="+op.Key, bytes.NewReader(op.Value))
+		if err != nil {
+			return err
+		}
+		resp, err := t.client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("put %q: status %d", op.Key, resp.StatusCode)
+		}
+		return nil
+	}
+	resp, err := t.client.Get(t.srv.URL + "/get?key=" + op.Key)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("get %q: status %d", op.Key, resp.StatusCode)
+	}
+	return nil
+}
+
+func (t *httpTarget) statsJSON() ([]byte, error) {
+	resp, err := t.client.Get(t.srv.URL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func (t *httpTarget) Close() error {
+	t.srv.Close()
+	return nil
+}
+
+// tcpTarget drives the binary protocol: the stream is split into
+// same-kind runs of at most `batch` ops, each run becomes one
+// MGET/MPUT frame, and up to `depth` frames ride one pipelined flush.
+// Run order equals stream order, so semantics match op-by-op replay.
+type tcpTarget struct {
+	tsrv  *tcpServer
+	conn  net.Conn
+	cli   *proto.Client
+	batch int
+	depth int
+
+	keys []string   // reused MGET scratch
+	kvs  []proto.KV // reused MPUT scratch
+}
+
+func (t *tcpTarget) replay(ops []loadgen.Op) error {
+	for _, run := range loadgen.Runs(ops, t.batch) {
+		if err := t.queueRun(run); err != nil {
+			return err
+		}
+		if t.cli.Depth() >= t.depth {
+			if _, err := t.cli.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := t.cli.Flush()
+	return err
+}
+
+// queueRun frames one same-kind run as a single MGET or MPUT request.
+func (t *tcpTarget) queueRun(run []loadgen.Op) error {
+	if run[0].Put {
+		t.kvs = t.kvs[:0]
+		for _, op := range run {
+			t.kvs = append(t.kvs, proto.KV{Key: op.Key, Value: op.Value})
+		}
+		return t.cli.QueueMPut(t.kvs)
+	}
+	t.keys = t.keys[:0]
+	for _, op := range run {
+		t.keys = append(t.keys, op.Key)
+	}
+	return t.cli.QueueMGet(t.keys)
+}
+
+func (t *tcpTarget) statsJSON() ([]byte, error) { return t.cli.Stats() }
+
+func (t *tcpTarget) Close() error {
+	t.conn.Close()
+	return t.tsrv.shutdownNow()
+}
+
+// shutdownNow drains with an already-expired deadline: close listener
+// and connections immediately (test/bench teardown, nothing to drain
+// gracefully).
+func (s *tcpServer) shutdownNow() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// parseTransport validates the -transport flag value.
+func parseTransport(v string) (string, error) {
+	switch strings.TrimSpace(v) {
+	case "direct", "http", "tcp":
+		return strings.TrimSpace(v), nil
+	}
+	return "", fmt.Errorf("unknown transport %q (want direct, http, or tcp)", v)
+}

@@ -150,33 +150,35 @@ func (l *Loader) loadDir(dir, path string) ([]*Package, error) {
 		return nil, nil
 	}
 	var out []*Package
-	var testVariant *types.Package
+	if len(extTest) > 0 {
+		// `go test` compiles the external test package against the base
+		// package's *test variant* (in-package test files included), so
+		// helpers from export_test.go-style files resolve — and it keeps
+		// type identity consistent by building the variant, the external
+		// test package, and every dependency they share in one import
+		// universe. Mirror that: check the variant AND the external test
+		// package inside one fresh memo (with the variant installed as
+		// an importer override), so a dependency like internal/live
+		// resolves to the same *types.Package instance from both, and
+		// intermediate dependents of the package under test are
+		// re-checked against the variant rather than a stale base-only
+		// instance.
+		saved := l.imports
+		l.imports = make(map[string]*types.Package)
+		defer func() { l.imports = saved }()
+	}
 	if len(base)+len(inTest) > 0 {
 		pkg, err := l.check(path, dir, append(append([]*ast.File{}, base...), inTest...))
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
-		testVariant = pkg.Types
+		if len(extTest) > 0 {
+			l.override[path] = pkg.Types
+			defer delete(l.override, path)
+		}
 	}
 	if len(extTest) > 0 {
-		// `go test` compiles the external test package against the base
-		// package's *test variant* (in-package test files included), so
-		// helpers from export_test.go-style files resolve — and it
-		// rebuilds every intermediate dependency against that variant
-		// too, keeping type identity consistent. Mirror both: install a
-		// transient importer override for the package under test and
-		// re-check its dependents in a fresh memo so nothing resolves to
-		// the stale base-only variant.
-		if testVariant != nil {
-			l.override[path] = testVariant
-			saved := l.imports
-			l.imports = make(map[string]*types.Package)
-			defer func() {
-				l.imports = saved
-				delete(l.override, path)
-			}()
-		}
 		pkg, err := l.check(path+"_test", dir, extTest)
 		if err != nil {
 			return nil, err

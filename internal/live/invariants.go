@@ -3,9 +3,10 @@ package live
 import "fmt"
 
 // CheckInvariants recounts every set's structural state from scratch
-// and compares it with the incrementally maintained counters. Test-only
-// (export_test.go): the stress and determinism tests call it after
-// hammering the cache.
+// and compares it with the incrementally maintained counters. It takes
+// every shard lock, so it is safe (if slow) on a live cache; the
+// stress and determinism tests — including cmd/rwpserve's TCP race
+// stress — call it after hammering the cache.
 func (c *Cache) CheckInvariants() error {
 	for si, sh := range c.shards {
 		sh.mu.Lock()

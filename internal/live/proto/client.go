@@ -1,0 +1,209 @@
+package proto
+
+import (
+	"bufio"
+	"io"
+)
+
+// Client speaks the binary protocol over one connection (any
+// io.ReadWriter: a net.Conn in production, a net.Pipe or loopback
+// socket in tests). It is not safe for concurrent use — one client per
+// goroutine, like a database/sql connection.
+//
+// Two modes share the connection:
+//
+//   - Synchronous: Get/Put/MGet/MPut/Stats/Ping each write one frame,
+//     flush, and read the reply.
+//   - Pipelined: Queue* methods buffer request frames locally; Flush
+//     writes them all in one burst and reads the replies in order. The
+//     pipeline depth is simply how many requests were queued.
+//
+// Both modes preserve request order end to end, which is what lets the
+// differential tests demand byte-identical stats at any depth.
+type Client struct {
+	bw      *bufio.Writer
+	r       *Reader
+	pending []Op // ops queued since the last Flush, in order
+}
+
+// NewClient wraps conn.
+func NewClient(conn io.ReadWriter) *Client {
+	return &Client{
+		bw: bufio.NewWriterSize(conn, 64<<10),
+		r:  NewReader(bufio.NewReaderSize(conn, 64<<10)),
+	}
+}
+
+// Reply is one response in Flush order. Exactly the fields implied by
+// Op are meaningful.
+type Reply struct {
+	Op       Op
+	Get      GetResult   // OpGet
+	Inserted bool        // OpPut
+	Gets     []GetResult // OpMGet, in request order
+	Inserts  []bool      // OpMPut, in request order
+	Data     []byte      // OpStats (JSON document) / OpPing (echo)
+}
+
+// queue frames one request.
+func (c *Client) queue(op Op, payload []byte) error {
+	frame := AppendFrame(nil, op, payload)
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	c.pending = append(c.pending, op)
+	return nil
+}
+
+// QueueGet pipelines a GET.
+func (c *Client) QueueGet(key string) error {
+	p, err := AppendGetReq(nil, key)
+	if err != nil {
+		return err
+	}
+	return c.queue(OpGet, p)
+}
+
+// QueuePut pipelines a PUT.
+func (c *Client) QueuePut(key string, val []byte) error {
+	p, err := AppendPutReq(nil, key, val)
+	if err != nil {
+		return err
+	}
+	return c.queue(OpPut, p)
+}
+
+// QueueMGet pipelines a batch GET.
+func (c *Client) QueueMGet(keys []string) error {
+	p, err := AppendMGetReq(nil, keys)
+	if err != nil {
+		return err
+	}
+	return c.queue(OpMGet, p)
+}
+
+// QueueMPut pipelines a batch PUT.
+func (c *Client) QueueMPut(kvs []KV) error {
+	p, err := AppendMPutReq(nil, kvs)
+	if err != nil {
+		return err
+	}
+	return c.queue(OpMPut, p)
+}
+
+// QueueStats pipelines a STATS request.
+func (c *Client) QueueStats() error { return c.queue(OpStats, nil) }
+
+// QueuePing pipelines a PING carrying payload.
+func (c *Client) QueuePing(payload []byte) error { return c.queue(OpPing, payload) }
+
+// Depth returns the number of requests queued since the last Flush.
+func (c *Client) Depth() int { return len(c.pending) }
+
+// Flush writes every queued request in one burst and reads their
+// replies in order. On a protocol error (including an ERR frame from
+// the server) the connection is no longer usable.
+func (c *Client) Flush() ([]Reply, error) {
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	want := c.pending
+	c.pending = c.pending[:0]
+	replies := make([]Reply, 0, len(want))
+	for _, sent := range want {
+		op, payload, err := c.r.ReadFrame()
+		if err != nil {
+			return replies, err
+		}
+		if op == OpErr {
+			return replies, wireErrf(ErrPayload, "server error: %s", payload)
+		}
+		if op != sent {
+			return replies, wireErrf(ErrOp, "reply op %v for %v request", op, sent)
+		}
+		rep := Reply{Op: op}
+		switch op {
+		case OpGet:
+			rep.Get, err = ParseGetResp(payload)
+		case OpPut:
+			rep.Inserted, err = ParsePutResp(payload)
+		case OpMGet:
+			rep.Gets, err = ParseMGetResp(payload)
+		case OpMPut:
+			rep.Inserts, err = ParseMPutResp(payload)
+		case OpStats, OpPing:
+			rep.Data = cloneBytes(payload)
+		}
+		if err != nil {
+			return replies, err
+		}
+		replies = append(replies, rep)
+	}
+	return replies, nil
+}
+
+// flushOne runs a single queued request synchronously.
+func (c *Client) flushOne() (Reply, error) {
+	replies, err := c.Flush()
+	if err != nil {
+		return Reply{}, err
+	}
+	return replies[0], nil
+}
+
+// Get looks up one key.
+func (c *Client) Get(key string) (GetResult, error) {
+	if err := c.QueueGet(key); err != nil {
+		return GetResult{}, err
+	}
+	rep, err := c.flushOne()
+	return rep.Get, err
+}
+
+// Put stores one key, reporting whether it was newly inserted.
+func (c *Client) Put(key string, val []byte) (bool, error) {
+	if err := c.QueuePut(key, val); err != nil {
+		return false, err
+	}
+	rep, err := c.flushOne()
+	return rep.Inserted, err
+}
+
+// MGet looks up a batch of keys in one frame; results are in request
+// order.
+func (c *Client) MGet(keys []string) ([]GetResult, error) {
+	if err := c.QueueMGet(keys); err != nil {
+		return nil, err
+	}
+	rep, err := c.flushOne()
+	return rep.Gets, err
+}
+
+// MPut stores a batch of pairs in one frame; inserted flags are in
+// request order.
+func (c *Client) MPut(kvs []KV) ([]bool, error) {
+	if err := c.QueueMPut(kvs); err != nil {
+		return nil, err
+	}
+	rep, err := c.flushOne()
+	return rep.Inserts, err
+}
+
+// Stats fetches the stats JSON document — byte-identical to the HTTP
+// /stats body for the same cache state.
+func (c *Client) Stats() ([]byte, error) {
+	if err := c.QueueStats(); err != nil {
+		return nil, err
+	}
+	rep, err := c.flushOne()
+	return rep.Data, err
+}
+
+// Ping round-trips payload.
+func (c *Client) Ping(payload []byte) ([]byte, error) {
+	if err := c.QueuePing(payload); err != nil {
+		return nil, err
+	}
+	rep, err := c.flushOne()
+	return rep.Data, err
+}

@@ -1,0 +1,146 @@
+package proto_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"rwp/internal/live/proto"
+)
+
+// frameSeeds are the shared seed corpus for the frame-level fuzz
+// targets: valid frames of each opcode, boundary sizes, and classic
+// corruptions. testdata/fuzz/ holds additional checked-in seeds in the
+// native go-fuzz corpus format.
+func frameSeeds(f *testing.F) {
+	add := func(b []byte) { f.Add(b) }
+	add(proto.AppendFrame(nil, proto.OpPing, nil))
+	add(proto.AppendFrame(nil, proto.OpStats, nil))
+	gp, _ := proto.AppendGetReq(nil, "key")
+	add(proto.AppendFrame(nil, proto.OpGet, gp))
+	pp, _ := proto.AppendPutReq(nil, "key", []byte("value"))
+	add(proto.AppendFrame(nil, proto.OpPut, pp))
+	mg, _ := proto.AppendMGetReq(nil, []string{"a", "b", "c"})
+	add(proto.AppendFrame(nil, proto.OpMGet, mg))
+	mp, _ := proto.AppendMPutReq(nil, []proto.KV{{Key: "a", Value: []byte("1")}})
+	add(proto.AppendFrame(nil, proto.OpMPut, mp))
+	// Two frames back to back: resync behavior after a good frame.
+	add(proto.AppendFrame(proto.AppendFrame(nil, proto.OpPing, []byte("x")), proto.OpStats, nil))
+	// Corruptions.
+	flipped := proto.AppendFrame(nil, proto.OpPing, []byte("flip me"))
+	flipped[len(flipped)/2] ^= 0x40
+	add(flipped)
+	add([]byte("RW"))                                                                      // truncated header
+	add([]byte{'R', 'W', proto.Version, 0xff})                                             // bad opcode
+	add(bytes.Repeat([]byte{0xff}, 32))                                                    // noise
+	add([]byte{'R', 'W', proto.Version, byte(proto.OpPing), 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length
+	add([]byte{})
+}
+
+// FuzzReadFrame hardens the frame reader: arbitrary bytes must never
+// panic, never allocate past MaxPayload, and either yield frames or
+// fail cleanly. Decoded frame count is bounded by the input size (the
+// minimum frame is 9 bytes), so a decoding loop always terminates.
+func FuzzReadFrame(f *testing.F) {
+	frameSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := proto.NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			op, payload, err := r.ReadFrame()
+			if err != nil {
+				if err == io.EOF && len(payload) != 0 {
+					t.Fatal("EOF with payload")
+				}
+				return
+			}
+			if !op.Valid() {
+				t.Fatalf("decoded invalid opcode %v", op)
+			}
+			if len(payload) > proto.MaxPayload {
+				t.Fatalf("payload %d exceeds MaxPayload", len(payload))
+			}
+			if i > len(data)/9 {
+				t.Fatalf("decoded more frames than %d input bytes can hold", len(data))
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip: whatever opcode/payload the writer accepts must
+// decode back bit-exactly.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(proto.OpGet), []byte("\x03abc"))
+	f.Add(byte(proto.OpPing), []byte{})
+	f.Add(byte(proto.OpErr), bytes.Repeat([]byte{0x80}, 200))
+	f.Fuzz(func(t *testing.T, opByte byte, payload []byte) {
+		op := proto.Op(opByte)
+		if !op.Valid() || len(payload) > proto.MaxPayload {
+			return // AppendFrame's contract excludes these
+		}
+		wire := proto.AppendFrame(nil, op, payload)
+		gotOp, gotPayload, err := proto.NewReader(bytes.NewReader(wire)).ReadFrame()
+		if err != nil {
+			t.Fatalf("decoding own frame: %v", err)
+		}
+		if gotOp != op || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip: (%v, %x) -> (%v, %x)", op, payload, gotOp, gotPayload)
+		}
+		// And the stream ends cleanly right after.
+		if _, _, err := proto.NewReader(bytes.NewReader(wire)).ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// fuzzBackend is a deterministic in-memory Backend for FuzzServeConn.
+type fuzzBackend struct{ m map[string][]byte }
+
+func (b *fuzzBackend) Get(key string) ([]byte, bool) {
+	v, ok := b.m[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (b *fuzzBackend) Put(key string, val []byte) bool {
+	_, existed := b.m[key]
+	b.m[key] = append([]byte(nil), val...)
+	return !existed
+}
+
+func (b *fuzzBackend) StatsJSON() ([]byte, error) { return []byte("{}\n"), nil }
+
+// FuzzServeConn feeds the pipelined server loop arbitrary connection
+// bytes. The loop must never panic, must answer only with valid
+// frames, and must close cleanly: nil on EOF at a frame boundary, a
+// wire/transport error otherwise (after an ERR frame).
+func FuzzServeConn(f *testing.F) {
+	frameSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out bytes.Buffer
+		conn := struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), &out}
+		err := proto.ServeConn(conn, &fuzzBackend{m: map[string][]byte{}})
+		if err != nil && err != io.ErrUnexpectedEOF && !proto.IsWireError(err) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		// Every byte the server wrote must parse as valid frames, the
+		// last possibly an ERR.
+		r := proto.NewReader(bytes.NewReader(out.Bytes()))
+		for {
+			op, _, rerr := r.ReadFrame()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				t.Fatalf("server wrote an unparseable frame: %v", rerr)
+			}
+			if op == proto.OpErr && err == nil {
+				t.Fatal("ERR frame written but ServeConn returned nil")
+			}
+		}
+	})
+}

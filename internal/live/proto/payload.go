@@ -1,0 +1,410 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GetStatus classifies a Get outcome on the wire; it mirrors the HTTP
+// surface's X-Cache header exactly (miss/hit/fill), so the transports
+// are distinguishable only by framing, never by semantics.
+type GetStatus byte
+
+const (
+	StatusMiss GetStatus = 0 // not resident, no loader value
+	StatusHit  GetStatus = 1 // resident
+	StatusFill GetStatus = 2 // loader backfill: value returned, hit=false
+)
+
+// String names the status as the HTTP header would.
+func (s GetStatus) String() string {
+	switch s {
+	case StatusMiss:
+		return "miss"
+	case StatusHit:
+		return "hit"
+	case StatusFill:
+		return "fill"
+	}
+	return fmt.Sprintf("GetStatus(%d)", byte(s))
+}
+
+// GetResult is one key's Get outcome: the decoded form of a GET
+// response element. Value is nil exactly when Status is StatusMiss.
+type GetResult struct {
+	Status GetStatus
+	Value  []byte
+}
+
+// KV is one key-value pair of an MPUT batch.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// appendString appends a uvarint length-prefixed byte string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBytes appends a uvarint length-prefixed byte slice.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// parser consumes a payload left to right, validating every declared
+// length against the configured limit and the bytes remaining before
+// touching them.
+type parser struct {
+	buf []byte
+}
+
+// uvarint decodes one uvarint.
+func (p *parser) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(p.buf)
+	if n <= 0 {
+		return 0, wireErrf(ErrPayload, "truncated %s uvarint", what)
+	}
+	p.buf = p.buf[n:]
+	return v, nil
+}
+
+// chunk decodes one length-prefixed byte string of at most max bytes.
+// The returned slice aliases the payload.
+func (p *parser) chunk(what string, max int) ([]byte, error) {
+	n, err := p.uvarint(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, wireErrf(ErrTooLarge, "%s length %d > max %d", what, n, max)
+	}
+	if n > uint64(len(p.buf)) {
+		return nil, wireErrf(ErrPayload, "%s length %d exceeds remaining payload %d", what, n, len(p.buf))
+	}
+	b := p.buf[:n]
+	p.buf = p.buf[n:]
+	return b, nil
+}
+
+// count decodes a batch element count (≤ MaxBatch).
+func (p *parser) count() (int, error) {
+	n, err := p.uvarint("batch count")
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxBatch {
+		return 0, wireErrf(ErrTooLarge, "batch count %d > max %d", n, MaxBatch)
+	}
+	return int(n), nil
+}
+
+// done verifies the payload was consumed exactly.
+func (p *parser) done() error {
+	if len(p.buf) != 0 {
+		return wireErrf(ErrPayload, "%d trailing bytes", len(p.buf))
+	}
+	return nil
+}
+
+// byte1 decodes a single fixed byte (a status).
+func (p *parser) byte1(what string) (byte, error) {
+	if len(p.buf) == 0 {
+		return 0, wireErrf(ErrPayload, "missing %s byte", what)
+	}
+	b := p.buf[0]
+	p.buf = p.buf[1:]
+	return b, nil
+}
+
+// --- GET ---
+
+// AppendGetReq appends a GET request payload (one key).
+func AppendGetReq(dst []byte, key string) ([]byte, error) {
+	if len(key) > MaxKey {
+		return nil, wireErrf(ErrTooLarge, "key length %d > max %d", len(key), MaxKey)
+	}
+	return appendString(dst, key), nil
+}
+
+// ParseGetReq decodes a GET request payload. The key is copied (it
+// must outlive the reader's scratch buffer on the server side).
+func ParseGetReq(payload []byte) (key string, err error) {
+	p := parser{payload}
+	k, err := p.chunk("key", MaxKey)
+	if err != nil {
+		return "", err
+	}
+	if err := p.done(); err != nil {
+		return "", err
+	}
+	return string(k), nil
+}
+
+// appendGetItem appends one Get outcome (status, then value unless
+// miss) — the element of both GET and MGET responses.
+func appendGetItem(dst []byte, res GetResult) []byte {
+	dst = append(dst, byte(res.Status))
+	if res.Status == StatusMiss {
+		return dst
+	}
+	return appendBytes(dst, res.Value)
+}
+
+// parseGetItem decodes one Get outcome; the value aliases the payload.
+func (p *parser) parseGetItem() (GetResult, error) {
+	s, err := p.byte1("get status")
+	if err != nil {
+		return GetResult{}, err
+	}
+	st := GetStatus(s)
+	if st > StatusFill {
+		return GetResult{}, wireErrf(ErrPayload, "invalid get status %d", s)
+	}
+	if st == StatusMiss {
+		return GetResult{Status: st}, nil
+	}
+	v, err := p.chunk("value", MaxValue)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{Status: st, Value: v}, nil
+}
+
+// AppendGetResp appends a GET response payload.
+func AppendGetResp(dst []byte, res GetResult) []byte { return appendGetItem(dst, res) }
+
+// ParseGetResp decodes a GET response payload; the value is copied.
+func ParseGetResp(payload []byte) (GetResult, error) {
+	p := parser{payload}
+	res, err := p.parseGetItem()
+	if err != nil {
+		return GetResult{}, err
+	}
+	if err := p.done(); err != nil {
+		return GetResult{}, err
+	}
+	res.Value = cloneBytes(res.Value)
+	return res, nil
+}
+
+// --- PUT ---
+
+// AppendPutReq appends a PUT request payload (key, value).
+func AppendPutReq(dst []byte, key string, val []byte) ([]byte, error) {
+	if len(key) > MaxKey {
+		return nil, wireErrf(ErrTooLarge, "key length %d > max %d", len(key), MaxKey)
+	}
+	if len(val) > MaxValue {
+		return nil, wireErrf(ErrTooLarge, "value length %d > max %d", len(val), MaxValue)
+	}
+	return appendBytes(appendString(dst, key), val), nil
+}
+
+// ParsePutReq decodes a PUT request payload. The key is copied; the
+// value aliases the payload (the cache copies on store).
+func ParsePutReq(payload []byte) (key string, val []byte, err error) {
+	p := parser{payload}
+	k, err := p.chunk("key", MaxKey)
+	if err != nil {
+		return "", nil, err
+	}
+	v, err := p.chunk("value", MaxValue)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.done(); err != nil {
+		return "", nil, err
+	}
+	return string(k), v, nil
+}
+
+// AppendPutResp appends a PUT response payload (1 = inserted,
+// 0 = overwrote a resident key).
+func AppendPutResp(dst []byte, inserted bool) []byte {
+	if inserted {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// ParsePutResp decodes a PUT response payload.
+func ParsePutResp(payload []byte) (inserted bool, err error) {
+	p := parser{payload}
+	b, err := p.byte1("put status")
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, wireErrf(ErrPayload, "invalid put status %d", b)
+	}
+	if err := p.done(); err != nil {
+		return false, err
+	}
+	return b == 1, nil
+}
+
+// --- MGET ---
+
+// AppendMGetReq appends an MGET request payload (count, then keys).
+func AppendMGetReq(dst []byte, keys []string) ([]byte, error) {
+	if len(keys) > MaxBatch {
+		return nil, wireErrf(ErrTooLarge, "batch count %d > max %d", len(keys), MaxBatch)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		if len(k) > MaxKey {
+			return nil, wireErrf(ErrTooLarge, "key length %d > max %d", len(k), MaxKey)
+		}
+		dst = appendString(dst, k)
+	}
+	return dst, nil
+}
+
+// ParseMGetReq decodes an MGET request payload; keys are copied.
+func ParseMGetReq(payload []byte) ([]string, error) {
+	p := parser{payload}
+	n, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		k, err := p.chunk("key", MaxKey)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, string(k))
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// AppendMGetResp appends an MGET response payload (count, then
+// per-key Get outcomes in request order).
+func AppendMGetResp(dst []byte, results []GetResult) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for _, r := range results {
+		dst = appendGetItem(dst, r)
+	}
+	return dst
+}
+
+// ParseMGetResp decodes an MGET response payload; values are copied.
+func ParseMGetResp(payload []byte) ([]GetResult, error) {
+	p := parser{payload}
+	n, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]GetResult, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		r, err := p.parseGetItem()
+		if err != nil {
+			return nil, err
+		}
+		r.Value = cloneBytes(r.Value)
+		results = append(results, r)
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// --- MPUT ---
+
+// AppendMPutReq appends an MPUT request payload (count, then key+value
+// pairs).
+func AppendMPutReq(dst []byte, kvs []KV) ([]byte, error) {
+	if len(kvs) > MaxBatch {
+		return nil, wireErrf(ErrTooLarge, "batch count %d > max %d", len(kvs), MaxBatch)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(kvs)))
+	for _, kv := range kvs {
+		if len(kv.Key) > MaxKey {
+			return nil, wireErrf(ErrTooLarge, "key length %d > max %d", len(kv.Key), MaxKey)
+		}
+		if len(kv.Value) > MaxValue {
+			return nil, wireErrf(ErrTooLarge, "value length %d > max %d", len(kv.Value), MaxValue)
+		}
+		dst = appendBytes(appendString(dst, kv.Key), kv.Value)
+	}
+	return dst, nil
+}
+
+// ParseMPutReq decodes an MPUT request payload; keys are copied,
+// values alias the payload.
+func ParseMPutReq(payload []byte) ([]KV, error) {
+	p := parser{payload}
+	n, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]KV, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		k, err := p.chunk("key", MaxKey)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.chunk("value", MaxValue)
+		if err != nil {
+			return nil, err
+		}
+		kvs = append(kvs, KV{Key: string(k), Value: v})
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return kvs, nil
+}
+
+// AppendMPutResp appends an MPUT response payload (count, then per-key
+// inserted flags in request order).
+func AppendMPutResp(dst []byte, inserted []bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(inserted)))
+	for _, ins := range inserted {
+		if ins {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// ParseMPutResp decodes an MPUT response payload.
+func ParseMPutResp(payload []byte) ([]bool, error) {
+	p := parser{payload}
+	n, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	inserted := make([]bool, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		b, err := p.byte1("mput status")
+		if err != nil {
+			return nil, err
+		}
+		if b > 1 {
+			return nil, wireErrf(ErrPayload, "invalid mput status %d", b)
+		}
+		inserted = append(inserted, b == 1)
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return inserted, nil
+}
+
+// cloneBytes copies b (nil stays nil).
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

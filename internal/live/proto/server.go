@@ -1,0 +1,139 @@
+package proto
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Backend is what a connection serves: the live cache's operation
+// surface plus the rendered stats document. *live.Cache provides
+// Get/Put; cmd/rwpserve wraps it with the same JSON renderer the HTTP
+// /stats endpoint uses, which is what makes the transports
+// byte-comparable end to end.
+type Backend interface {
+	// Get looks up key. hit=false with val non-nil is a loader
+	// backfill (StatusFill), matching live.Cache.Get.
+	Get(key string) (val []byte, hit bool)
+	// Put stores val under key, reporting whether it was newly
+	// inserted.
+	Put(key string, val []byte) (inserted bool)
+	// StatsJSON renders the stats document — byte-identical to the
+	// HTTP /stats body.
+	StatsJSON() ([]byte, error)
+}
+
+// ServeConn runs the pipelined request loop for one connection until
+// the peer closes it (clean: returns nil) or violates the protocol
+// (writes one ERR frame with the reason, then returns the error — the
+// caller closes the connection). Batch ops issue their per-key
+// Gets/Puts in request order, so a request stream has identical cache
+// semantics through this loop and through the HTTP handlers.
+//
+// Pipelining: responses are buffered and flushed only when the read
+// side has no complete buffered request left, so a burst of n requests
+// costs one writev, not n.
+func ServeConn(conn io.ReadWriter, b Backend) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	r := NewReader(br)
+	var payload, frame []byte // response scratch, reused across requests
+	for {
+		// Flush before a read that would block: everything the peer
+		// pipelined has been answered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		op, req, err := r.ReadFrame()
+		if err != nil {
+			if err == io.EOF {
+				return bw.Flush() // clean close at a frame boundary
+			}
+			// Best effort: tell the peer why before hanging up.
+			bw.Write(AppendFrame(nil, OpErr, []byte(err.Error())))
+			bw.Flush()
+			return err
+		}
+		payload = payload[:0]
+		switch op {
+		case OpGet:
+			key, perr := ParseGetReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			payload = AppendGetResp(payload, backendGet(b, key))
+		case OpPut:
+			key, val, perr := ParsePutReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			payload = AppendPutResp(payload, b.Put(key, val))
+		case OpMGet:
+			keys, perr := ParseMGetReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			results := make([]GetResult, len(keys))
+			for i, k := range keys { // request order: the semantics contract
+				results[i] = backendGet(b, k)
+			}
+			payload = AppendMGetResp(payload, results)
+		case OpMPut:
+			kvs, perr := ParseMPutReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			inserted := make([]bool, len(kvs))
+			for i, kv := range kvs {
+				inserted[i] = b.Put(kv.Key, kv.Value)
+			}
+			payload = AppendMPutResp(payload, inserted)
+		case OpStats:
+			doc, serr := b.StatsJSON()
+			if serr != nil {
+				return refuse(bw, serr)
+			}
+			if len(doc) > MaxPayload {
+				return refuse(bw, wireErrf(ErrTooLarge, "stats document %d bytes", len(doc)))
+			}
+			payload = append(payload, doc...)
+		case OpPing:
+			payload = append(payload, req...)
+		default: // OpErr from a peer is itself a protocol violation
+			return refuse(bw, wireErrf(ErrOp, "unexpected %v request", op))
+		}
+		frame = AppendFrame(frame[:0], op, payload)
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+}
+
+// backendGet maps the cache's (val, hit) pair onto the wire status.
+func backendGet(b Backend, key string) GetResult {
+	val, hit := b.Get(key)
+	switch {
+	case hit:
+		return GetResult{Status: StatusHit, Value: val}
+	case val != nil:
+		return GetResult{Status: StatusFill, Value: val}
+	default:
+		return GetResult{Status: StatusMiss}
+	}
+}
+
+// refuse reports err to the peer as an ERR frame and returns it.
+func refuse(bw *bufio.Writer, err error) error {
+	bw.Write(AppendFrame(nil, OpErr, []byte(err.Error())))
+	bw.Flush()
+	return err
+}
+
+// IsWireError reports whether err is a protocol violation (as opposed
+// to a transport failure) — the server logs the two differently.
+func IsWireError(err error) bool {
+	var we *WireError
+	return errors.As(err, &we)
+}

@@ -6,12 +6,12 @@ import "rwp/internal/probe"
 // over events, so aggregating them across sets is order-independent —
 // the root of the shard-count invariance guarantee.
 type Counters struct {
-	Gets      uint64 // Get operations
-	GetHits   uint64
-	GetMisses uint64
-	Puts       uint64 // Put operations
-	PutHits    uint64 // overwrites of a resident key
-	PutInserts uint64 // write-allocate fills
+	Gets           uint64 // Get operations
+	GetHits        uint64
+	GetMisses      uint64
+	Puts           uint64 // Put operations
+	PutHits        uint64 // overwrites of a resident key
+	PutInserts     uint64 // write-allocate fills
 	Loads          uint64 // backing-store fetches (read-allocate)
 	Fills          uint64
 	FillsDirty     uint64

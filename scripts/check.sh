@@ -30,10 +30,11 @@ if [ "$short" = 0 ]; then
     echo '>> go test -race ./...'
     go test -race ./...
 else
-    # Even the short gate race-checks the one package built for
-    # concurrency: the live cache's multi-goroutine stress test.
-    echo '>> go test -race -run Stress ./internal/live/...'
-    go test -race -run Stress ./internal/live/...
+    # Even the short gate race-checks the packages built for
+    # concurrency: the live cache's multi-goroutine stress test and the
+    # binary-protocol server under concurrent pipelined clients.
+    echo '>> go test -race -short -run Stress ./internal/live/... ./cmd/rwpserve'
+    go test -race -short -run Stress ./internal/live/... ./cmd/rwpserve
 fi
 
 # Engine smoke: run one experiment twice against the same cache dir.
@@ -95,6 +96,17 @@ go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 32 \
     -profile mcf >"$smoke/live32.json"
 cmp "$smoke/live1.json" "$smoke/live32.json" || {
     echo 'check.sh: FAIL: rwpserve -selftest differs between -shards 1 and 32' >&2
+    exit 1
+}
+
+# Transport smoke: the same burst through the binary protocol (batched
+# MGET/MPUT frames, pipelined 8 deep) must print the same bytes — the
+# transport-equivalence contract through the real binary.
+echo '>> transport smoke: -selftest is transport invariant (tcp == direct)'
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -transport tcp -batch 64 -pipeline 8 >"$smoke/livetcp.json"
+cmp "$smoke/live1.json" "$smoke/livetcp.json" || {
+    echo 'check.sh: FAIL: rwpserve -selftest differs between tcp and direct transports' >&2
     exit 1
 }
 
