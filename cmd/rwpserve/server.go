@@ -182,16 +182,25 @@ func (s *tcpServer) serve() error {
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			defer func() {
+				// Defense in depth: a bug in the protocol loop must
+				// cost one connection, not the process.
+				if p := recover(); p != nil {
+					fmt.Fprintf(s.stderr, "rwpserve: tcp %s: panic: %v\n", conn.RemoteAddr(), p)
+				}
+			}()
 			err := proto.ServeConn(conn, s.b)
 			if err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				// Protocol violations and transport failures are peer
 				// problems, not server state: log and move on.
 				fmt.Fprintf(s.stderr, "rwpserve: tcp %s: %v\n", conn.RemoteAddr(), err)
 			}
-			conn.Close()
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
 		}()
 	}
 }

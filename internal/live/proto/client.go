@@ -24,6 +24,7 @@ type Client struct {
 	bw      *bufio.Writer
 	r       *Reader
 	pending []Op // ops queued since the last Flush, in order
+	queued  int  // request bytes framed since the last Flush
 }
 
 // NewClient wraps conn.
@@ -52,6 +53,7 @@ func (c *Client) queue(op Op, payload []byte) error {
 		return err
 	}
 	c.pending = append(c.pending, op)
+	c.queued += len(frame)
 	return nil
 }
 
@@ -100,15 +102,29 @@ func (c *Client) QueuePing(payload []byte) error { return c.queue(OpPing, payloa
 // Depth returns the number of requests queued since the last Flush.
 func (c *Client) Depth() int { return len(c.pending) }
 
+// QueuedBytes returns the request bytes framed since the last Flush.
+// Use it to bound a burst — see Flush for why the bound matters.
+func (c *Client) QueuedBytes() int { return c.queued }
+
 // Flush writes every queued request in one burst and reads their
 // replies in order. On a protocol error (including an ERR frame from
 // the server) the connection is no longer usable.
+//
+// Bound your bursts: Flush writes every queued frame before reading
+// any reply. If the queued request bytes plus the responses they
+// elicit exceed what the two sockets' kernel buffers (plus the
+// server's 64 KiB write buffer, which force-flushes when full) can
+// hold in flight, both ends block on write and the connection
+// deadlocks. Keep QueuedBytes plus the expected response bytes of one
+// Flush in the tens of KiB — split deeper pipelines across multiple
+// Flushes.
 func (c *Client) Flush() ([]Reply, error) {
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
 	want := c.pending
 	c.pending = c.pending[:0]
+	c.queued = 0
 	replies := make([]Reply, 0, len(want))
 	for _, sent := range want {
 		op, payload, err := c.r.ReadFrame()

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"rwp/internal/live"
 	"rwp/internal/live/proto"
@@ -223,6 +226,85 @@ func TestServerRejectsMalformed(t *testing.T) {
 				t.Fatalf("server error %v is not a wire error", serr)
 			}
 		})
+	}
+}
+
+// bigValues is a backend whose every Get hits with the same large
+// value — the cheapest way to drive an MGET response past MaxPayload
+// with a perfectly well-formed request.
+type bigValues struct{ val []byte }
+
+func (b bigValues) Get(string) ([]byte, bool)  { return b.val, true }
+func (b bigValues) Put(string, []byte) bool    { return false }
+func (b bigValues) StatsJSON() ([]byte, error) { return []byte("{}\n"), nil }
+
+// TestMGetResponseTooLarge sends a valid MGET whose response would
+// exceed MaxPayload (5 keys × 1 MiB values) and checks the server
+// refuses with an ERR frame instead of panicking in AppendFrame —
+// previously a remote crash of the whole process.
+func TestMGetResponseTooLarge(t *testing.T) {
+	b := bigValues{val: make([]byte, proto.MaxValue)}
+	cli, _, done := startConn(t, b)
+	keys := []string{"a", "b", "c", "d", "e"}
+	if _, err := cli.MGet(keys); err == nil ||
+		!strings.Contains(err.Error(), "length exceeds limit") {
+		t.Fatalf("oversized mget: %v", err)
+	}
+	if serr := <-done; !errors.Is(serr, proto.ErrTooLarge) {
+		t.Fatalf("server loop error %v, want ErrTooLarge", serr)
+	}
+}
+
+// TestEmptyValueHit pins the Value-nil-iff-miss contract for
+// zero-length values: a hit on an empty value must decode as a non-nil
+// empty slice, distinguishable from a miss.
+func TestEmptyValueHit(t *testing.T) {
+	b := newLiveBackend(t, false)
+	cli, _, _ := startConn(t, b)
+	if _, err := cli.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != proto.StatusHit || res.Value == nil || len(res.Value) != 0 {
+		t.Fatalf("empty-value hit: status=%v value=%#v", res.Status, res.Value)
+	}
+	// MGET path shares the decoder but clones per element.
+	results, err := cli.MGet([]string{"empty"})
+	if err != nil || len(results) != 1 {
+		t.Fatalf("mget: %+v %v", results, err)
+	}
+	if results[0].Status != proto.StatusHit || results[0].Value == nil {
+		t.Fatalf("empty-value mget hit: %+v", results[0])
+	}
+}
+
+// TestShutdownNudgeClosesCleanly expires the server-side read deadline
+// — exactly what tcpServer.shutdown does to idle connections — and
+// checks ServeConn exits with the deadline error without writing a
+// spurious ERR frame: the well-behaved peer sees a clean close.
+func TestShutdownNudgeClosesCleanly(t *testing.T) {
+	b := newLiveBackend(t, false)
+	cc, sc := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- proto.ServeConn(sc, b)
+		sc.Close()
+	}()
+	defer cc.Close()
+	cli := proto.NewClient(cc)
+	if _, err := cli.Ping([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sc.SetReadDeadline(time.Unix(1, 0)) // long expired: the nudge fires at once
+	if serr := <-done; !errors.Is(serr, os.ErrDeadlineExceeded) {
+		t.Fatalf("server loop error %v, want deadline exceeded", serr)
+	}
+	// No ERR frame was written: the next read sees only the close.
+	if op, payload, err := proto.NewReader(cc).ReadFrame(); err != io.EOF {
+		t.Fatalf("after nudge got (%v, %q, %v), want clean EOF", op, payload, err)
 	}
 }
 

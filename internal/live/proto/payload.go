@@ -30,7 +30,10 @@ func (s GetStatus) String() string {
 }
 
 // GetResult is one key's Get outcome: the decoded form of a GET
-// response element. Value is nil exactly when Status is StatusMiss.
+// response element. In results decoded by the Parse* functions, Value
+// is nil exactly when Status is StatusMiss — a zero-length value on a
+// hit or fill decodes as a non-nil empty slice. (On the encode side
+// nil and empty are interchangeable: both frame as length 0.)
 type GetResult struct {
 	Status GetStatus
 	Value  []byte
@@ -401,10 +404,12 @@ func ParseMPutResp(payload []byte) ([]bool, error) {
 	return inserted, nil
 }
 
-// cloneBytes copies b (nil stays nil).
+// cloneBytes copies b. nil stays nil and a non-nil empty slice stays
+// non-nil, preserving the Value-nil-iff-miss contract for zero-length
+// values (append to a nil slice would collapse empty to nil).
 func cloneBytes(b []byte) []byte {
 	if b == nil {
 		return nil
 	}
-	return append([]byte(nil), b...)
+	return append(make([]byte, 0, len(b)), b...)
 }

@@ -2,8 +2,10 @@ package proto
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
+	"os"
 )
 
 // Backend is what a connection serves: the live cache's operation
@@ -51,6 +53,14 @@ func ServeConn(conn io.ReadWriter, b Backend) error {
 			if err == io.EOF {
 				return bw.Flush() // clean close at a frame boundary
 			}
+			// A read deadline firing (the graceful-shutdown nudge in
+			// cmd/rwpserve) is not a peer mistake: flush what is owed
+			// and hang up without a spurious ERR frame.
+			var to interface{ Timeout() bool }
+			if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &to) && to.Timeout()) {
+				bw.Flush()
+				return err
+			}
 			// Best effort: tell the peer why before hanging up.
 			bw.Write(AppendFrame(nil, OpErr, []byte(err.Error())))
 			bw.Flush()
@@ -75,11 +85,20 @@ func ServeConn(conn io.ReadWriter, b Backend) error {
 			if perr != nil {
 				return refuse(bw, perr)
 			}
-			results := make([]GetResult, len(keys))
-			for i, k := range keys { // request order: the semantics contract
-				results[i] = backendGet(b, k)
+			// Encode each outcome as its Get is issued (request order:
+			// the semantics contract) and bound the growing response: a
+			// batch of large values can push the payload past
+			// MaxPayload even when every per-element limit holds, and
+			// AppendFrame panics rather than frame it. Refusing
+			// mid-batch leaves the remaining Gets unissued, which is
+			// fine — the connection is closing anyway.
+			payload = binary.AppendUvarint(payload, uint64(len(keys)))
+			for _, k := range keys {
+				payload = appendGetItem(payload, backendGet(b, k))
+				if len(payload) > MaxPayload {
+					return refuse(bw, wireErrf(ErrTooLarge, "mget response exceeds max payload %d", MaxPayload))
+				}
 			}
-			payload = AppendMGetResp(payload, results)
 		case OpMPut:
 			kvs, perr := ParseMPutReq(req)
 			if perr != nil {
