@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint check check-short cover exps bench-engine bench-live bench-proto
+.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto
 
 build:
 	go build ./...
@@ -14,6 +14,13 @@ test:
 # run it directly for per-finding output.
 lint:
 	go run ./cmd/rwplint ./...
+
+# Per-rule finding/suppression counts, recorded in
+# results/lint_report.txt so suppression drift shows up in review
+# diffs. Fails like `make lint` if any finding is unsuppressed.
+lint-report:
+	mkdir -p results
+	go run ./cmd/rwplint -report ./... | tee results/lint_report.txt
 
 # The pre-PR gate: build, vet, rwplint, tests, race tests.
 check:

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"slices"
+	"testing"
 	"time"
 
 	"rwp/internal/live"
 	"rwp/internal/live/loadgen"
+	"rwp/internal/live/proto"
 )
 
 // transportLeg is one transport's measured numbers. The latency unit
@@ -65,6 +68,90 @@ func runProtoBench(w io.Writer, base live.Config, profile string, seed uint64, v
 	}
 	ratio := tcpLeg.opsPerS / httpLeg.opsPerS
 	fmt.Fprintf(w, "binary/http throughput ratio: %.2fx\n", ratio)
+	return reportAllocs(w, base, valSize, batch, depth)
+}
+
+// frameLoop replays one frame's bytes forever without allocating, so
+// AllocsPerRun isolates the frame reader's own allocations.
+type frameLoop struct {
+	frame []byte
+	off   int
+}
+
+func (l *frameLoop) Read(p []byte) (int, error) {
+	if l.off == len(l.frame) {
+		l.off = 0
+	}
+	n := copy(p, l.frame[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// reportAllocs measures allocations/op (testing.AllocsPerRun) for the
+// hot serving legs and appends them to the bench report — the baseline
+// the zero-allocation read-path work must beat. The direct and
+// frame-read numbers are deterministic and pinned (they are the same
+// quantities the AllocsPerRun tests in internal/live and
+// internal/live/proto assert); the end-to-end TCP number includes the
+// server goroutine and the payload codecs, so it is recorded for trend
+// rather than gated.
+func reportAllocs(w io.Writer, base live.Config, valSize, batch, depth int) error {
+	if valSize <= 0 {
+		valSize = 64
+	}
+	val := bytes.Repeat([]byte("v"), valSize)
+
+	// Leg 1: live cache Get hit, no transport. Exactly the copy-out.
+	c, err := live.New(base)
+	if err != nil {
+		return err
+	}
+	c.Put("bench:hot", val)
+	hit := testing.AllocsPerRun(500, func() {
+		if _, ok := c.Get("bench:hot"); !ok {
+			panic("protobench: warmed key missed")
+		}
+	})
+
+	// Leg 2: proto frame decode from a warmed Reader.
+	frame := proto.AppendFrame(nil, proto.OpPing, val)
+	r := proto.NewReader(&frameLoop{frame: frame})
+	if _, _, err := r.ReadFrame(); err != nil {
+		return err
+	}
+	read := testing.AllocsPerRun(500, func() {
+		if _, _, err := r.ReadFrame(); err != nil {
+			panic(err)
+		}
+	})
+
+	// Leg 3: TCP Get hit end to end — real client, real loopback
+	// socket, real per-connection server loop. AllocsPerRun counts
+	// mallocs across all goroutines, so the server side is included;
+	// that is the number a zero-alloc PR has to drive down.
+	srv, err := live.New(base)
+	if err != nil {
+		return err
+	}
+	tgt, err := newTarget("tcp", srv, batch, depth)
+	if err != nil {
+		return err
+	}
+	defer tgt.Close()
+	tt := tgt.(*tcpTarget)
+	if _, err := tt.cli.Put("bench:hot", val); err != nil {
+		return err
+	}
+	e2e := testing.AllocsPerRun(200, func() {
+		res, err := tt.cli.Get("bench:hot")
+		if err != nil || res.Status != proto.StatusHit {
+			panic(fmt.Sprintf("protobench: tcp get = (%v, %v)", res.Status, err))
+		}
+	})
+
+	fmt.Fprintf(w, "allocs/op live get-hit (direct): %.1f\n", hit)
+	fmt.Fprintf(w, "allocs/op proto frame read: %.1f\n", read)
+	fmt.Fprintf(w, "allocs/op tcp get-hit (e2e): %.1f\n", e2e)
 	return nil
 }
 

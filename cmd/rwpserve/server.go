@@ -230,6 +230,9 @@ func (s *tcpServer) shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for conn := range s.conns {
+			// Hard-close of stragglers at shutdown; the lock only guards
+			// the conns map, and Close on a TCP conn does not block.
+			//rwplint:allow lockheld — shutdown hard-close; nothing else contends for s.mu anymore
 			conn.Close() // unblocks ServeConn reads; order irrelevant
 		}
 		s.mu.Unlock()

@@ -204,6 +204,9 @@ func (s *tcpServer) shutdownNow() error {
 	s.ln.Close()
 	s.mu.Lock()
 	for conn := range s.conns {
+		// Teardown hard-close; the lock only guards the conns map, and
+		// Close on a TCP conn does not block.
+		//rwplint:allow lockheld — teardown hard-close; nothing else contends for s.mu anymore
 		conn.Close()
 	}
 	s.mu.Unlock()

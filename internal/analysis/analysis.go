@@ -88,13 +88,28 @@ func Default() []*Analyzer {
 		FloatEq,
 		CtrWidth,
 		Probesafe,
+		LockHeld,
+		LockPair,
+		HotAlloc,
 	}
 }
 
 // Run applies every analyzer to every package, resolves allow
 // directives, and returns all findings sorted by position. Suppressed
 // findings are included with Suppressed set; Unsuppressed filters them.
+//
+// An allow directive naming a rule that matches no analyzer — neither
+// one in the running set nor one in the Default suite — is reported
+// (rule "directive") rather than silently ignored: a typo in a rule
+// name must not quietly disable a suppression.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	known := map[string]bool{"directive": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range Default() {
+		known[a.Name] = true
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -109,7 +124,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 			}
 			a.Run(pass)
 		}
-		findings = append(findings, applyDirectives(pkg, &findings)...)
+		findings = append(findings, applyDirectives(pkg, &findings, known)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -145,6 +160,12 @@ func Unsuppressed(findings []Finding) []Finding {
 // The reason may be separated by an em/en dash or given directly.
 var directiveRE = regexp.MustCompile(`^rwplint:allow\s+([A-Za-z0-9_-]+)\s*(?:[—–:-]+\s*)?(.*)$`)
 
+// hotpathRE matches the "rwplint:hotpath" function directive (an
+// optional dash-separated note may follow). It is consumed by the
+// hotalloc analyzer, which requires it to sit in a function's doc
+// comment; parseDirectives only has to recognize it as well-formed.
+var hotpathRE = regexp.MustCompile(`^rwplint:hotpath\s*(?:[—–:-]+\s*(.*))?$`)
+
 // directive is one parsed //rwplint:allow comment.
 type directive struct {
 	rule   string
@@ -166,13 +187,16 @@ func parseDirectives(fset *token.FileSet, file *ast.File, report func(Finding)) 
 			if !strings.HasPrefix(text, "rwplint:") {
 				continue
 			}
+			if hotpathRE.MatchString(text) {
+				continue // function directive; hotalloc owns placement checks
+			}
 			m := directiveRE.FindStringSubmatch(text)
 			pos := fset.Position(c.Pos())
 			if m == nil || strings.TrimSpace(m[2]) == "" {
 				report(Finding{
 					Pos:     pos,
 					Rule:    "directive",
-					Message: "malformed rwplint directive: want //rwplint:allow <rule> — <reason>",
+					Message: "malformed rwplint directive: want //rwplint:allow <rule> — <reason> or //rwplint:hotpath",
 				})
 				continue
 			}
@@ -188,14 +212,24 @@ func parseDirectives(fset *token.FileSet, file *ast.File, report func(Finding)) 
 }
 
 // applyDirectives marks findings in pkg covered by a directive as
-// suppressed and returns any directive-parse findings to append.
-func applyDirectives(pkg *Package, findings *[]Finding) []Finding {
+// suppressed and returns any directive-parse findings to append
+// (malformed directives and allow directives naming unknown rules).
+func applyDirectives(pkg *Package, findings *[]Finding, known map[string]bool) []Finding {
 	var extra []Finding
 	var dirs []directive
 	for _, f := range pkg.Files {
 		dirs = append(dirs, parseDirectives(pkg.Fset, f, func(f Finding) {
 			extra = append(extra, f)
 		})...)
+	}
+	for _, d := range dirs {
+		if !known[d.rule] {
+			extra = append(extra, Finding{
+				Pos:     token.Position{Filename: d.file, Line: d.lines[0]},
+				Rule:    "directive",
+				Message: fmt.Sprintf("allow directive names unknown rule %q; it suppresses nothing", d.rule),
+			})
+		}
 	}
 	if len(dirs) == 0 {
 		return extra

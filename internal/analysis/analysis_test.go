@@ -94,6 +94,103 @@ var _ = rand.Int
 	wantFindings(t, findings, "norand", 3)
 }
 
+func TestSuppressionAdjacentRules(t *testing.T) {
+	// One line trips two rules; the preceding-line directive suppresses
+	// one, the same-line directive the other. Adjacent directives must
+	// not shadow or consume each other.
+	src := `package fix
+
+import "time"
+
+//rwplint:allow nowallclock — fixture: first of two rules on the next line
+var _ = float64(time.Now().Unix()) == 0.5 //rwplint:allow floateq — fixture: second rule, same line
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoWallClock, FloatEq)
+	if un := Unsuppressed(findings); len(un) != 0 {
+		t.Fatalf("adjacent directives did not both apply: %v", un)
+	}
+	byRule := map[string]bool{}
+	for _, f := range findings {
+		if f.Suppressed {
+			byRule[f.Rule] = true
+		}
+	}
+	if !byRule["nowallclock"] || !byRule["floateq"] {
+		t.Fatalf("want both rules suppressed (retained), got %v", findings)
+	}
+}
+
+func TestSuppressionMultiLineStatement(t *testing.T) {
+	// A directive above a statement that spans several lines covers the
+	// finding, which is reported at the statement's first line.
+	src := `package fix
+
+import "time"
+
+//rwplint:allow nowallclock — fixture: statement below spans three lines
+var _ = time.Now().
+	Add(time.Second).
+	Unix()
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoWallClock)
+	if un := Unsuppressed(findings); len(un) != 0 {
+		t.Fatalf("directive above a multi-line statement did not suppress: %v", un)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings at all; it should violate norand")
+	}
+}
+
+func TestSuppressionUnknownRuleReported(t *testing.T) {
+	// A directive naming a rule no analyzer owns suppresses nothing —
+	// and must say so, not vanish: a typo in a rule name that silently
+	// disabled a suppression would be invisible until the finding it
+	// was meant to cover resurfaced.
+	src := `package fix
+
+//rwplint:allow nosuchrule — fixture: rule name matches no analyzer
+var X = 1
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	un := Unsuppressed(findings)
+	if len(un) != 1 || un[0].Rule != "directive" {
+		t.Fatalf("unknown-rule directive should yield one directive finding, got %v", un)
+	}
+	if !strings.Contains(un[0].Message, "nosuchrule") || !strings.Contains(un[0].Message, "unknown rule") {
+		t.Fatalf("directive finding should name the unknown rule: %v", un[0])
+	}
+}
+
+func TestSuppressionKnowsDefaultSuite(t *testing.T) {
+	// The unknown-rule check must recognize every Default-suite rule
+	// even when only a subset of analyzers is running — a lockpair
+	// suppression is not a typo just because this pass runs norand.
+	src := `package fix
+
+//rwplint:allow lockpair — fixture: valid rule, not in the running subset
+var X = 1
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	if len(Unsuppressed(findings)) != 0 {
+		t.Fatalf("suite-rule directive flagged as unknown: %v", findings)
+	}
+}
+
+func TestHotpathDirectiveNotMalformed(t *testing.T) {
+	// The function-scoped hotpath directive must parse cleanly as a
+	// directive (placement checks belong to hotalloc, which is not
+	// running here).
+	src := `package fix
+
+//rwplint:hotpath — fast path
+func F(n int) int { return n * 2 }
+`
+	findings := checkSrc(t, "rwp/internal/fix", src, NoRand)
+	if len(findings) != 0 {
+		t.Fatalf("hotpath directive misparsed: %v", findings)
+	}
+}
+
 func TestMalformedDirectiveReported(t *testing.T) {
 	src := `package fix
 

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc lints functions marked hot. The directive
+//
+//	//rwplint:hotpath — <optional note>
+//
+// in a function's doc comment declares that the function is on a
+// serving fast path (the live Get-hit path, the proto frame reader)
+// where per-call heap allocations are a throughput bug, not a style
+// choice. Inside a hotpath function the following constructs are
+// findings:
+//
+//   - make / new;
+//   - append, unless it follows a reuse idiom: appending to x[:0] or
+//     assigning back to the same expression that was appended to
+//     (amortized growth of a caller-owned buffer);
+//   - string ↔ []byte conversions (each copies);
+//   - any fmt.* call (fmt allocates for formatting state and boxing);
+//   - function literals (closures capture their environment on the
+//     heap once the compiler cannot prove otherwise);
+//   - passing a concrete non-pointer value where an interface or `any`
+//     parameter is expected, and conversions to interface types —
+//     boxing allocates. panic() is exempt: it is the crash path.
+//
+// Intentional allocations are suppressed like any other finding, with
+// a written reason — the point is that every allocation on a hot path
+// is a decision someone wrote down, pinned by the AllocsPerRun tests
+// next to the code. A hotpath directive anywhere other than a
+// function's doc comment is itself reported: a floating directive
+// guards nothing.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs inside //rwplint:hotpath functions",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			hot := hotpathComments(f)
+			for _, decl := range f.Decls {
+				fn, isFn := decl.(*ast.FuncDecl)
+				if !isFn || fn.Doc == nil || fn.Body == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fn.Doc.List {
+					if hot[c] {
+						delete(hot, c)
+						marked = true
+					}
+				}
+				if marked {
+					w := &allocWalker{pass: pass, fn: fn.Name.Name}
+					w.walk(fn.Body)
+				}
+			}
+			// Any hotpath comment not consumed above is floating: not a
+			// doc comment of any function declaration.
+			for c := range hot {
+				pass.Reportf(c.Pos(), "//rwplint:hotpath must be in a function's doc comment; here it marks nothing")
+			}
+		}
+	},
+}
+
+// hotpathComments collects the comments in f that are hotpath
+// directives.
+func hotpathComments(f *ast.File) map[*ast.Comment]bool {
+	out := map[*ast.Comment]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if hotpathRE.MatchString(text) {
+				out[c] = true
+			}
+		}
+	}
+	return out
+}
+
+// allocWalker flags allocating constructs in one hotpath function.
+type allocWalker struct {
+	pass *Pass
+	fn   string
+	// reuse marks append calls whose result is assigned back to their
+	// own base — the amortized caller-owned-buffer idiom, not flagged.
+	reuse map[*ast.CallExpr]bool
+}
+
+func (w *allocWalker) walk(body *ast.BlockStmt) {
+	w.reuse = map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if call, isCall := rhs.(*ast.CallExpr); isCall && isAppend(w.pass, call) && w.appendReusesBase(call, assign.Lhs[i]) {
+				w.reuse[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.pass.Reportf(n.Pos(), "closure in hotpath %s: captured variables escape to the heap", w.fn)
+			return false // the literal is the finding; don't double-report its body
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (w *allocWalker) checkCall(call *ast.CallExpr) {
+	if w.reuse[call] {
+		return
+	}
+	// Conversions: T(x) where T is a type.
+	if tv, isTyped := w.pass.Info.Types[call.Fun]; isTyped && tv.IsType() && len(call.Args) == 1 {
+		w.checkConversion(call, tv.Type)
+		return
+	}
+	if id, isIdent := unparenIdent(call.Fun); isIdent {
+		if b, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				w.pass.Reportf(call.Pos(), "make in hotpath %s allocates per call; reuse a caller-owned buffer", w.fn)
+			case "new":
+				w.pass.Reportf(call.Pos(), "new in hotpath %s allocates per call", w.fn)
+			case "append":
+				if !w.appendBaseIsReset(call) {
+					w.pass.Reportf(call.Pos(), "append in hotpath %s may grow a fresh backing array; append to x[:0] or assign back to the base", w.fn)
+				}
+			case "panic":
+				return // crash path: boxing the argument is irrelevant
+			}
+			return
+		}
+	}
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		if fn, isFn := w.pass.Info.Uses[sel.Sel].(*types.Func); isFn && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			w.pass.Reportf(call.Pos(), "fmt.%s in hotpath %s allocates (formatting state and boxed operands)", fn.Name(), w.fn)
+			return
+		}
+	}
+	w.checkBoxing(call)
+}
+
+// checkConversion flags string↔[]byte conversions and conversions to
+// interface types.
+func (w *allocWalker) checkConversion(call *ast.CallExpr, target types.Type) {
+	argT := w.pass.Info.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	if isString(target) && isByteSlice(argT) {
+		w.pass.Reportf(call.Pos(), "[]byte→string conversion in hotpath %s copies the bytes", w.fn)
+		return
+	}
+	if isByteSlice(target) && isString(argT) {
+		w.pass.Reportf(call.Pos(), "string→[]byte conversion in hotpath %s copies the bytes", w.fn)
+		return
+	}
+	if types.IsInterface(target.Underlying()) && !types.IsInterface(argT.Underlying()) {
+		w.pass.Reportf(call.Pos(), "conversion to interface in hotpath %s boxes the value", w.fn)
+	}
+}
+
+// checkBoxing flags concrete non-pointer arguments passed to interface
+// parameters — each such call boxes the value on the heap.
+func (w *allocWalker) checkBoxing(call *ast.CallExpr) {
+	tv, isTyped := w.pass.Info.Types[call.Fun]
+	if !isTyped || tv.Type == nil {
+		return
+	}
+	sig, isSig := tv.Type.Underlying().(*types.Signature)
+	if !isSig || sig.TypeParams().Len() > 0 {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := w.pass.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit the interface word without copying
+		}
+		if bt, isBasic := at.Underlying().(*types.Basic); isBasic && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(), "passing %s to an interface parameter in hotpath %s boxes the value", at.String(), w.fn)
+	}
+}
+
+// appendBaseIsReset reports whether an append call's base is the
+// x[:0]-style reset of an existing buffer.
+func (w *allocWalker) appendBaseIsReset(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, isSlice := call.Args[0].(*ast.SliceExpr)
+	if !isSlice || sl.High == nil {
+		return false
+	}
+	lit, isLit := sl.High.(*ast.BasicLit)
+	return isLit && lit.Value == "0" && sl.Low == nil
+}
+
+// appendReusesBase reports whether `lhs = append(base, ...)` writes the
+// result back to its own base (amortized caller-owned growth).
+func (w *allocWalker) appendReusesBase(call *ast.CallExpr, lhs ast.Expr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if w.appendBaseIsReset(call) {
+		return true
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(lhs)
+}
+
+// isAppend reports whether call is the append builtin.
+func isAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, isIdent := unparenIdent(call.Fun)
+	if !isIdent {
+		return false
+	}
+	b, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && b.Name() == "append"
+}
+
+func unparenIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		p, isParen := e.(*ast.ParenExpr)
+		if !isParen {
+			break
+		}
+		e = p.X
+	}
+	id, isIdent := e.(*ast.Ident)
+	return id, isIdent
+}
+
+func isString(t types.Type) bool {
+	b, isBasic := t.Underlying().(*types.Basic)
+	return isBasic && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, isSlice := t.Underlying().(*types.Slice)
+	if !isSlice {
+		return false
+	}
+	b, isBasic := s.Elem().Underlying().(*types.Basic)
+	return isBasic && b.Kind() == types.Uint8
+}

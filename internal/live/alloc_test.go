@@ -1,0 +1,111 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGetHitAllocs pins the Get-hit path at exactly one heap
+// allocation per call: the copy-out of the value, which is the API
+// contract (callers own what Get returns). The hotalloc lint suppresses
+// exactly that append in Get; this test is the runtime half of the same
+// agreement — if either side drifts (a new allocation sneaks in, or the
+// copy is eliminated without updating the contract), one of the two
+// fails.
+func TestGetHitAllocs(t *testing.T) {
+	for _, pol := range []string{"lru", "rwp"} {
+		c := mustNew(t, tinyConfig(pol))
+		c.Put("k", []byte("value-bytes"))
+		if _, hit := c.Get("k"); !hit {
+			t.Fatalf("%s: warmup Get missed", pol)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, hit := c.Get("k"); !hit {
+				t.Fatal("Get missed inside AllocsPerRun")
+			}
+		})
+		//rwplint:allow floateq — AllocsPerRun yields an exact small-integer float; the pin is exact by design
+		if allocs != 1 {
+			t.Errorf("%s: Get hit allocates %.1f objects/op, want exactly 1 (the copy-out)", pol, allocs)
+		}
+	}
+}
+
+// TestGetMissNoLoaderAllocs pins the other cheap path: a miss without a
+// Loader returns (nil, false) and must not allocate at all.
+func TestGetMissNoLoaderAllocs(t *testing.T) {
+	c := mustNew(t, tinyConfig("rwp"))
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, hit := c.Get("absent"); hit || v != nil {
+			t.Fatal("unexpected hit for absent key")
+		}
+	})
+	//rwplint:allow floateq — AllocsPerRun yields an exact small-integer float; the pin is exact by design
+	if allocs != 0 {
+		t.Errorf("Get miss (no loader) allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReentrantLoader locks in the new Loader contract: the fetch runs
+// with no shard lock held, so a Loader may call back into the cache —
+// even installing the very key it was asked to load. Before the
+// Loader-outside-lock refactor this deadlocked on the shard mutex.
+func TestReentrantLoader(t *testing.T) {
+	var c *Cache
+	loads := 0
+	cfg := tinyConfig("rwp")
+	cfg.Loader = func(key string) []byte {
+		loads++
+		// Reentrant write of the same key: the cache must survive it,
+		// and the resident entry it installs must win the race.
+		c.Put(key, []byte("from-put"))
+		return []byte("from-loader")
+	}
+	c = mustNew(t, cfg)
+
+	v, hit := c.Get("k")
+	if hit {
+		t.Fatal("first Get reported a hit on an empty cache")
+	}
+	// The miss returns what the Loader fetched...
+	if !bytes.Equal(v, []byte("from-loader")) {
+		t.Fatalf("Get returned %q, want the loaded value", v)
+	}
+	// ...but the reentrant Put's value stays resident.
+	v, hit = c.Get("k")
+	if !hit || !bytes.Equal(v, []byte("from-put")) {
+		t.Fatalf("second Get = (%q, %v), want the Put-installed value", v, hit)
+	}
+
+	s := c.Stats()
+	if loads != 1 || s.Loads != 0 || s.LoadRaces != 1 {
+		t.Errorf("loads=%d stats.Loads=%d stats.LoadRaces=%d, want 1/0/1 (fetch happened, install lost the race)", loads, s.Loads, s.LoadRaces)
+	}
+	if s.GetMisses != s.Loads+s.LoadRaces {
+		t.Errorf("conservation broken: misses %d != loads %d + races %d", s.GetMisses, s.Loads, s.LoadRaces)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoaderValueOwnership: the value a miss returns is owned by the
+// caller — mutating it must not corrupt the cached copy.
+func TestLoaderValueOwnership(t *testing.T) {
+	cfg := tinyConfig("lru")
+	cfg.Loader = func(key string) []byte { return []byte("fresh") }
+	c := mustNew(t, cfg)
+
+	v, _ := c.Get("k")
+	v[0] = 'X'
+	got, hit := c.Get("k")
+	if !hit || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("cached value corrupted through the miss return: %q (hit=%v)", got, hit)
+	}
+	// Same ownership rule on the hit path.
+	got[0] = 'Y'
+	again, _ := c.Get("k")
+	if !bytes.Equal(again, []byte("fresh")) {
+		t.Fatalf("cached value corrupted through the hit return: %q", again)
+	}
+}

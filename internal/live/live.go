@@ -48,8 +48,13 @@ import (
 )
 
 // Loader fetches the backing-store value for a key (read-allocate on
-// Get misses). It must be deterministic and safe for concurrent use;
-// it is called with the key's shard lock held.
+// Get misses). It must be deterministic and safe for concurrent use.
+// It is called with no shard lock held — a slow backing store stalls
+// only the Gets that actually miss, never the whole shard — so a
+// Loader may itself call back into the cache (e.g. warm a sibling
+// key). If another writer installs the key while the Loader runs, the
+// fetched value is still returned but not installed (see Get and the
+// LoadRaces counter).
 type Loader func(key string) []byte
 
 // Config parameterizes a live cache.
@@ -161,6 +166,8 @@ func (s *lset) ValidWays(int) int { return s.validCount }
 func (s *lset) DirtyWays(int) int { return s.dirtyCount }
 
 // find returns the way holding key, or -1.
+//
+//rwplint:hotpath — linear probe on every Get/Put; must stay allocation-free
 func (s *lset) find(key string) int {
 	for w := range s.entries {
 		if e := &s.entries[w]; e.valid && e.key == key {
@@ -237,15 +244,22 @@ func (c *Cache) locate(h uint64) (*shard, *lset) {
 }
 
 // Get looks up key, returning a copy of the value and whether it was
-// resident. On a miss with a Loader configured, the value is fetched
-// and installed as a clean fill (read-allocate) before returning — so
-// the returned value is non-nil but hit is false.
+// resident. On a miss with a Loader configured, the value is fetched —
+// with no shard lock held — and installed as a clean fill
+// (read-allocate) before returning, so the returned value is non-nil
+// but hit is false. If a concurrent writer (or the Loader itself,
+// reentrantly) installs the key during the fetch, the resident entry
+// wins: the fetched value is returned but not installed, and the event
+// is counted as a LoadRace. Single-goroutine runs with a
+// non-reentrant Loader never race, so their behavior and counters are
+// bit-identical across runs and shard counts.
+//
+//rwplint:hotpath — the serving read path; every allocation here is a written-down decision
 func (c *Cache) Get(key string) (val []byte, hit bool) {
 	h := HashKey(key)
 	sh, ls := c.locate(h)
 	ai := cache.AccessInfo{Line: mem.LineAddr(h), Class: cache.DemandLoad}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	ls.ops.Gets++
 	if way := ls.find(key); way >= 0 {
 		e := &ls.entries[way]
@@ -254,19 +268,41 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: true, LineDirty: e.dirty})
 		}
 		ls.pol.OnHit(0, way, ai)
-		return append([]byte(nil), e.val...), true
+		// Copy while the entry is stable, then release before returning:
+		// the caller must never see bytes a later Put could overwrite.
+		//rwplint:allow hotalloc — copy-out is the Get API contract (one alloc, pinned by TestGetHitAllocs)
+		v := append([]byte(nil), e.val...)
+		sh.mu.Unlock()
+		return v, true
 	}
 	ls.ops.GetMisses++
 	if sh.rec != nil {
 		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: false})
 	}
 	if c.cfg.Loader == nil {
+		sh.mu.Unlock()
 		return nil, false
 	}
+	// The backing-store fetch runs outside the lock: a slow Loader
+	// stalls only this Get, not every key in the shard (and a reentrant
+	// Loader does not self-deadlock).
+	sh.mu.Unlock()
 	v := c.cfg.Loader(key)
+	sh.mu.Lock()
+	if ls.find(key) >= 0 {
+		// Lost the race: someone installed the key while we were
+		// loading. Keep the resident entry (it may hold a newer Put);
+		// return the value this miss actually fetched.
+		ls.ops.LoadRaces++
+		sh.mu.Unlock()
+		return v, false
+	}
 	ls.ops.Loads++
 	ls.fill(sh, key, mem.LineAddr(h), v, ai, false)
-	return append([]byte(nil), v...), false
+	sh.mu.Unlock()
+	// No defensive copy on the way out: the Loader handed us a fresh
+	// value and fill stored its own copy, so the caller owns v.
+	return v, false
 }
 
 // Put stores val under key: a dirty hit when resident (overwrite), a
@@ -349,6 +385,8 @@ func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai ca
 // HashKey is the deterministic 64-bit key hash used for set selection
 // and as the policy-visible line identity: FNV-1a with a SplitMix64
 // finalizer so the low bits (the set index) are well mixed.
+//
+//rwplint:hotpath — hashed once per operation; pure arithmetic, zero allocations
 func HashKey(key string) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for i := 0; i < len(key); i++ {

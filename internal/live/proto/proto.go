@@ -147,6 +147,8 @@ func wireErrf(kind error, format string, args ...any) error {
 // and returns the extended slice. It panics if payload exceeds
 // MaxPayload — callers construct payloads through the Encode helpers,
 // which enforce the limits with errors first.
+//
+//rwplint:hotpath — runs once per frame on the serving path; appends amortize into dst
 func AppendFrame(dst []byte, op Op, payload []byte) []byte {
 	if len(payload) > MaxPayload {
 		panic("proto: AppendFrame payload exceeds MaxPayload")
@@ -167,6 +169,10 @@ func AppendFrame(dst []byte, op Op, payload []byte) []byte {
 type Reader struct {
 	r   io.Reader
 	buf []byte // reused scratch: header + payload + crc of the current frame
+	// lenb is the single-byte scratch for the length-uvarint read loop.
+	// As a field it stays on the Reader; as a loop-local it escaped into
+	// the io.Reader call and cost one heap allocation per length byte.
+	lenb [1]byte
 }
 
 // NewReader wraps r. For a net.Conn, wrap in a bufio.Reader first if
@@ -178,9 +184,17 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // overwritten by the next call — copy it to retain it. io.EOF is
 // returned only at a clean frame boundary; a frame truncated mid-way
 // yields io.ErrUnexpectedEOF.
+//
+// Steady state it allocates nothing (pinned by TestReadFrameAllocs):
+// the scratch buffer grows to the connection's high-water payload and
+// is reused; the remaining allocations below are one-time, amortized,
+// or on error paths that end the connection.
+//
+//rwplint:hotpath — runs once per frame on the serving path
 func (r *Reader) ReadFrame() (Op, []byte, error) {
 	// Fixed header: magic, version, opcode.
 	if cap(r.buf) < headerSize {
+		//rwplint:allow hotalloc — one-time scratch init on a Reader's first frame
 		r.buf = make([]byte, 64)
 	}
 	hdr := r.buf[:headerSize]
@@ -194,13 +208,16 @@ func (r *Reader) ReadFrame() (Op, []byte, error) {
 		return 0, nil, truncated(err)
 	}
 	if hdr[0] != Magic0 || hdr[1] != Magic1 {
+		//rwplint:allow hotalloc — error path: the connection is about to close
 		return 0, nil, wireErrf(ErrMagic, "got %#02x %#02x", hdr[0], hdr[1])
 	}
 	if hdr[2] != Version {
+		//rwplint:allow hotalloc — error path: the connection is about to close
 		return 0, nil, wireErrf(ErrVersion, "got %d, want %d", hdr[2], Version)
 	}
 	op := Op(hdr[3])
 	if !op.Valid() {
+		//rwplint:allow hotalloc — error path: the connection is about to close
 		return 0, nil, wireErrf(ErrOp, "opcode %d", hdr[3])
 	}
 
@@ -209,13 +226,13 @@ func (r *Reader) ReadFrame() (Op, []byte, error) {
 	frame := append(r.buf[:0], hdr...)
 	var plen uint64
 	for shift := uint(0); ; shift += 7 {
-		var b [1]byte
-		if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		if _, err := io.ReadFull(r.r, r.lenb[:]); err != nil {
 			return 0, nil, truncated(err)
 		}
-		frame = append(frame, b[0])
-		plen |= uint64(b[0]&0x7f) << shift
-		if b[0] < 0x80 {
+		b := r.lenb[0]
+		frame = append(frame, b)
+		plen |= uint64(b&0x7f) << shift
+		if b < 0x80 {
 			break
 		}
 		if shift >= 28 { // > 5 bytes cannot stay under MaxPayload
@@ -223,6 +240,7 @@ func (r *Reader) ReadFrame() (Op, []byte, error) {
 		}
 	}
 	if plen > MaxPayload {
+		//rwplint:allow hotalloc — error path: the connection is about to close
 		return 0, nil, wireErrf(ErrTooLarge, "payload %d > max %d", plen, MaxPayload)
 	}
 
@@ -230,6 +248,7 @@ func (r *Reader) ReadFrame() (Op, []byte, error) {
 	n := len(frame)
 	need := n + int(plen) + crcSize
 	if cap(frame) < need {
+		//rwplint:allow hotalloc — amortized: scratch grows to the high-water payload, then is reused
 		grown := make([]byte, need)
 		copy(grown, frame)
 		frame = grown[:n]
@@ -242,6 +261,7 @@ func (r *Reader) ReadFrame() (Op, []byte, error) {
 	body, crc := frame[:need-crcSize], frame[need-crcSize:]
 	want := binary.LittleEndian.Uint32(crc)
 	if got := crc32.Checksum(body, castagnoli); got != want {
+		//rwplint:allow hotalloc — error path: the connection is about to close
 		return 0, nil, wireErrf(ErrCRC, "got %#08x, want %#08x", got, want)
 	}
 	return op, body[n:], nil

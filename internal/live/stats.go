@@ -12,7 +12,8 @@ type Counters struct {
 	Puts           uint64 // Put operations
 	PutHits        uint64 // overwrites of a resident key
 	PutInserts     uint64 // write-allocate fills
-	Loads          uint64 // backing-store fetches (read-allocate)
+	Loads          uint64 // backing-store fetches installed as fills (read-allocate)
+	LoadRaces      uint64 // fetches discarded because a writer installed the key first
 	Fills          uint64
 	FillsDirty     uint64
 	Bypasses       uint64
@@ -29,6 +30,7 @@ func (c *Counters) add(o Counters) {
 	c.PutHits += o.PutHits
 	c.PutInserts += o.PutInserts
 	c.Loads += o.Loads
+	c.LoadRaces += o.LoadRaces
 	c.Fills += o.Fills
 	c.FillsDirty += o.FillsDirty
 	c.Bypasses += o.Bypasses

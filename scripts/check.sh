@@ -26,6 +26,12 @@ go run ./cmd/rwplint ./...
 echo '>> go test ./...'
 go test ./...
 
+# Fuzz seed corpora: replay every checked-in seed (testdata/fuzz/ plus
+# the F.Add seeds) through the wire-protocol fuzz targets so a corpus
+# regression fails the gate without needing a fuzzing run.
+echo '>> go test -run=Fuzz ./internal/live/proto'
+go test -run=Fuzz ./internal/live/proto
+
 if [ "$short" = 0 ]; then
     echo '>> go test -race ./...'
     go test -race ./...
