@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto
+.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster
 
 build:
 	go build ./...
@@ -56,3 +56,9 @@ bench-live:
 # binary path falls below 2x HTTP throughput.
 bench-proto:
 	scripts/bench_proto.sh
+
+# Run the deterministic cluster bench (single node vs static 3-node vs
+# shard-manager replication); records results/cluster_bench.txt and
+# fails if the managed leg models below the static leg.
+bench-cluster:
+	scripts/bench_cluster.sh

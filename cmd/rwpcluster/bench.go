@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rwp/internal/cluster"
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/probe"
+	"rwp/internal/report"
+)
+
+// benchWindow is the bench's load-sampling window in routed ops; all
+// three legs share it so their makespans are comparable.
+const benchWindow = 4096
+
+// benchHotKeys is the size of the bench's hot population. All hot
+// keys are picked to land on ONE ring shard (the hot-shard scenario):
+// per-key rendezvous routing cannot spread a single key's reads, but a
+// replicated shard spreads distinct hot keys across its replicas.
+const benchHotKeys = 8
+
+// runClusterBench runs the partition-vs-replicate experiment the
+// cluster layer exists for, on a deliberately skewed hotspot stream:
+//
+//	single   one node absorbs everything (the rwpserve baseline)
+//	static   three nodes, ring only — the hot shard stays on one node
+//	managed  three nodes plus the shard manager replicating hot shards
+//
+// The gated metrics are deterministic models, not wall clock: modeled
+// read throughput is totalReads/makespan where makespan sums each
+// window's busiest-node load (replicating the hot shard shrinks the
+// busiest node's share), and late-p99 is the worst per-window p99
+// service cost (in-window queue depth) over the run's second half —
+// after the control loop has had windows to act; the first windows are
+// identical across legs by construction. Wall times are printed for
+// orientation but never gated — the host is shared and noisy; the
+// model is the contract.
+func runClusterBench(w io.Writer, cacheCfg live.Config, ringShards, vnodes, ops, valueSize int, seed uint64) error {
+	hotNames, err := hotShardKeys(cacheCfg.Sets, ringShards, vnodes)
+	if err != nil {
+		return err
+	}
+	stream, err := loadgen.NewHotspot(loadgen.HotspotConfig{
+		HotNames: hotNames, ColdKeys: 65536,
+		HotFrac: 0.9, WriteFrac: 0.1, ZipfS: 1.2,
+		ValueSize: valueSize, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	opsList := stream.Ops(ops)
+
+	type leg struct {
+		name    string
+		nodes   int
+		managed bool
+	}
+	legs := []leg{
+		{"single", 1, false},
+		{"static", 3, false},
+		{"managed", 3, true},
+	}
+	type result struct {
+		leg
+		reads    uint64
+		makespan uint64
+		model    float64
+		peakP99  int
+		cmds     int
+		wallMS   int64
+	}
+	var results []result
+	for _, l := range legs {
+		var mgr *cluster.Manager
+		if l.managed {
+			m, err := cluster.NewManager(cluster.ManagerConfig{
+				Window: benchWindow, HotReads: 1024, ColdReads: 64,
+			})
+			if err != nil {
+				return err
+			}
+			mgr = m
+		}
+		ids := make([]string, l.nodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("node%d", i)
+		}
+		h, err := cluster.NewHarness(cluster.HarnessConfig{
+			NodeIDs:    ids,
+			RingShards: ringShards,
+			Vnodes:     vnodes,
+			Cache:      cacheCfg,
+			Manager:    mgr,
+			Window:     benchWindow,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := h.Client().Replay(opsList); err != nil {
+			return err
+		}
+		if err := h.Client().Finish(); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		peak := lateP99(h.Client().Windows())
+		r := result{
+			leg:      l,
+			reads:    h.Client().TotalReads(),
+			makespan: h.Client().Makespan(),
+			peakP99:  peak,
+			cmds:     len(h.Client().AppliedCommands()),
+			wallMS:   wall.Milliseconds(),
+		}
+		if r.makespan > 0 {
+			r.model = float64(r.reads) / float64(r.makespan)
+		}
+		results = append(results, r)
+		if err := h.Close(); err != nil {
+			return err
+		}
+	}
+
+	t := report.New(fmt.Sprintf("cluster bench: %d hotspot ops, window %d, ring-shards %d", ops, benchWindow, ringShards),
+		"leg", "nodes", "manager", "reads", "makespan", "model-xput", "late-p99", "repl-cmds", "wall-ms")
+	for _, r := range results {
+		mgrCell := "off"
+		if r.managed {
+			mgrCell = "on"
+		}
+		t.AddRow(r.name, report.I(r.nodes), mgrCell,
+			report.I(r.reads), report.I(r.makespan), report.F(r.model, 3),
+			report.I(r.peakP99), report.I(r.cmds), report.I(r.wallMS))
+	}
+	t.Note = "model-xput = reads per busiest-node load unit (deterministic); wall-ms is unmodeled and ungated"
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	static, managed := results[1], results[2]
+	fmt.Fprintf(w, "\ngate: model static=%.3f managed=%.3f late-p99 static=%d managed=%d\n",
+		static.model, managed.model, static.peakP99, managed.peakP99)
+	return nil
+}
+
+// hotShardKeys scans candidate key names until benchHotKeys of them
+// land on one ring shard (the shard of candidate 0). Shard placement
+// depends only on the geometry, never on the node set, so all three
+// legs see the same hot shard.
+func hotShardKeys(sets, ringShards, vnodes int) ([]string, error) {
+	probe, err := cluster.New(sets, ringShards, []string{"probe"}, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	target := probe.KeyShard(loadgen.HotKey(0))
+	names := make([]string, 0, benchHotKeys)
+	for i := 0; len(names) < benchHotKeys; i++ {
+		if name := loadgen.HotKey(i); probe.KeyShard(name) == target {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// lateP99 is the worst per-window p99 service cost over the run's
+// second half of windows (control-loop steady state).
+func lateP99(ws []probe.ShardWindow) int {
+	last := 0
+	for _, w := range ws {
+		if w.Window > last {
+			last = w.Window
+		}
+	}
+	peak := 0
+	for _, w := range ws {
+		if 2*w.Window >= last && w.P99Cost > peak {
+			peak = w.P99Cost
+		}
+	}
+	return peak
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/live/proto"
+	"rwp/internal/probe"
+)
+
+// clusterOut runs the real flag surface and returns stdout, failing the
+// test on a nonzero exit.
+func clusterOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errbuf bytes.Buffer
+	if code := run(args, &out, &errbuf); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errbuf.String())
+	}
+	return out.String()
+}
+
+// baseArgs is the shared selftest geometry: small enough to be quick,
+// large enough that the RWP policy retargets.
+func baseArgs(extra ...string) []string {
+	args := []string{"-selftest", "8000", "-sets", "256", "-ways", "4",
+		"-shards", "4", "-interval", "64", "-profile", "mcf", "-ring-shards", "16"}
+	return append(args, extra...)
+}
+
+// TestSelftestDeterministic pins the cluster acceptance criterion: the
+// merged stats JSON is byte-identical across reruns, transports, ring
+// shard counts, and node counts — the ring only moves whole set ranges
+// between nodes, it never changes what any set observes.
+func TestSelftestDeterministic(t *testing.T) {
+	base := clusterOut(t, baseArgs()...)
+	if !strings.Contains(base, "\"Retargets\"") || strings.Contains(base, "\"Retargets\": 0,") {
+		t.Fatalf("selftest output shows no retargets:\n%s", base)
+	}
+	for _, extra := range [][]string{
+		{},
+		{"-mode", "pipe"},
+		{"-mode", "pipe", "-pipeline", "7"},
+		{"-ring-shards", "64"},
+		{"-nodes", "1"},
+		{"-nodes", "5", "-mode", "pipe"},
+	} {
+		if got := clusterOut(t, baseArgs(extra...)...); got != base {
+			t.Errorf("selftest output differs for %v:\n%s\nvs base:\n%s", extra, got, base)
+		}
+	}
+}
+
+// TestSelftestMatchesSingleNode replays the same seeded stream against
+// one local cache and demands the 3-node merged document equal it byte
+// for byte — the cluster is a partitioning of the single-node run, not
+// an approximation of it.
+func TestSelftestMatchesSingleNode(t *testing.T) {
+	got := clusterOut(t, baseArgs()...)
+
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = 256, 4, 4
+	cfg.RWP.Interval = 64
+	cfg.Record = true
+	cfg.Loader = loadgen.Loader(0)
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadgen.New("mcf", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadgen.ApplyAll(c, g.Batch(8000))
+	var want bytes.Buffer
+	if err := live.WritePayload(&want, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got != want.String() {
+		t.Errorf("cluster merged doc differs from single-node doc:\n%s\nvs\n%s", got, want.String())
+	}
+}
+
+// TestWindowsOutJournal: -windows-out produces a parseable shard-window
+// journal that is byte-identical across reruns.
+func TestWindowsOutJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "windows.jsonl")
+	clusterOut(t, baseArgs("-manager", "-window", "512", "-hot", "64", "-cold", "8",
+		"-windows-out", path)...)
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, windowOps, ws, err := probe.ReadShardWindows(bytes.NewReader(first))
+	if err != nil {
+		t.Fatalf("journal does not parse: %v", err)
+	}
+	if len(ws) == 0 || windowOps != 512 {
+		t.Fatalf("journal desc=%q windowOps=%d windows=%d, want 512-op windows", desc, windowOps, len(ws))
+	}
+	path2 := filepath.Join(dir, "windows2.jsonl")
+	clusterOut(t, baseArgs("-manager", "-window", "512", "-hot", "64", "-cold", "8",
+		"-windows-out", path2)...)
+	second, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("windows journal differs across reruns")
+	}
+
+	// Without -manager the journal is still written, sampled at -window.
+	path3 := filepath.Join(dir, "windows3.jsonl")
+	clusterOut(t, baseArgs("-window", "512", "-windows-out", path3)...)
+	f, err := os.Open(path3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, ws, err = probe.ReadShardWindows(f); err != nil || len(ws) == 0 {
+		t.Fatalf("manager-less journal: windows=%d err=%v", len(ws), err)
+	}
+}
+
+// TestJournalDir: -journal-dir writes one parseable probe journal per
+// node.
+func TestJournalDir(t *testing.T) {
+	dir := t.TempDir()
+	clusterOut(t, baseArgs("-journal-dir", dir)...)
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("node-node%d.jsonl", i))
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing node journal: %v", err)
+		}
+		j, err := probe.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", path, err)
+		}
+		if j.Header.Kind != "cluster-node" {
+			t.Errorf("%s kind = %q, want cluster-node", path, j.Header.Kind)
+		}
+	}
+}
+
+// TestConnectMode routes the selftest against two real TCP servers
+// (live caches behind proto.ServeConn, exactly what rwpserve -tcp
+// runs) and checks the per-node stats come back.
+func TestConnectMode(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = 256, 4, 4
+	cfg.Record = true
+	cfg.Loader = loadgen.Loader(0)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		c, err := live.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			proto.ServeConn(conn, c)
+		}()
+	}
+	out := clusterOut(t, "-selftest", "4000", "-sets", "256", "-ways", "4",
+		"-shards", "4", "-ring-shards", "16", "-connect", strings.Join(addrs, ","))
+	for _, addr := range addrs {
+		if !strings.Contains(out, "== node "+addr+" ==") {
+			t.Errorf("output missing stats for node %s:\n%s", addr, out)
+		}
+	}
+	if !strings.Contains(out, "\"Hits\"") {
+		t.Errorf("output has no stats documents:\n%s", out)
+	}
+}
+
+// TestBenchGate runs the deterministic bench small and checks the gate
+// line holds: managed modeled throughput at or above static, managed
+// late-window p99 at or below static.
+func TestBenchGate(t *testing.T) {
+	out := clusterOut(t, "-bench", "-bench-ops", "24576", "-sets", "256", "-ways", "4", "-shards", "4")
+	var ms, mm float64
+	var ps, pm int
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "gate:") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no gate line in bench output:\n%s", out)
+	}
+	if _, err := fmt.Sscanf(line, "gate: model static=%f managed=%f late-p99 static=%d managed=%d",
+		&ms, &mm, &ps, &pm); err != nil {
+		t.Fatalf("gate line %q does not parse: %v", line, err)
+	}
+	if mm < ms {
+		t.Errorf("managed model throughput %.3f below static %.3f", mm, ms)
+	}
+	if pm > ps {
+		t.Errorf("managed late-p99 %d above static %d", pm, ps)
+	}
+}
+
+// TestBadArgs pins the flag-surface failure modes.
+func TestBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"positional args", []string{"-selftest", "10", "extra"}, 2},
+		{"nothing to do", []string{}, 2},
+		{"bad mode", []string{"-selftest", "10", "-mode", "telegraph"}, 2},
+		{"bad policy", []string{"-selftest", "10", "-policy", "fifo"}, 2},
+		{"ring shards do not divide sets", []string{"-selftest", "10", "-ring-shards", "3"}, 2},
+		{"manager over connect", []string{"-selftest", "10", "-connect", "127.0.0.1:1", "-manager"}, 2},
+		{"bench over connect", []string{"-bench", "-connect", "127.0.0.1:1"}, 2},
+		{"bad manager window", []string{"-selftest", "10", "-manager", "-window", "0"}, 2},
+		{"bad profile", []string{"-selftest", "10", "-profile", "nope"}, 2},
+	} {
+		var out, errbuf bytes.Buffer
+		if code := run(tc.args, &out, &errbuf); code != tc.want {
+			t.Errorf("%s: run = %d, want %d (stderr: %s)", tc.name, code, tc.want, errbuf.String())
+		}
+	}
+}

@@ -78,7 +78,7 @@ func TestHandlerPutGetStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var p statsPayload
+	var p live.StatsPayload
 	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,74 +13,21 @@ import (
 
 	"rwp/internal/live"
 	"rwp/internal/live/proto"
-	"rwp/internal/probe"
 )
-
-// statsPayload is the /stats JSON document. Every field is an
-// order-independent aggregate, so the payload is shard-count invariant
-// for a deterministic operation stream.
-type statsPayload struct {
-	Policy   string     `json:"policy"`
-	Sets     int        `json:"sets"`
-	Ways     int        `json:"ways"`
-	Capacity int        `json:"capacity"`
-	Stats    live.Stats `json:"stats"`
-	Probe    *probeView `json:"probe,omitempty"`
-}
-
-// probeView is the merged probe-recorder section.
-type probeView struct {
-	Load       probe.ClassCounters `json:"load"`
-	Store      probe.ClassCounters `json:"store"`
-	EvictClean uint64              `json:"evictClean"`
-	EvictDirty uint64              `json:"evictDirty"`
-}
-
-// Note: Shards is deliberately absent from the payload — it is a lock
-// layout detail, and keeping it out lets the determinism smoke compare
-// payloads across shard counts byte for byte.
-func snapshot(c *live.Cache) statsPayload {
-	cfg := c.Config()
-	p := statsPayload{
-		Policy:   cfg.Policy,
-		Sets:     cfg.Sets,
-		Ways:     cfg.Ways,
-		Capacity: c.Capacity(),
-		Stats:    c.Stats(),
-	}
-	if pr := c.ProbeStats(); pr != nil {
-		p.Probe = &probeView{
-			Load:       pr.Classes[probe.Load],
-			Store:      pr.Classes[probe.Store],
-			EvictClean: pr.EvictClean,
-			EvictDirty: pr.EvictDirty,
-		}
-	}
-	return p
-}
 
 // writeStatsJSON renders the /stats payload (also the -selftest output
 // and the binary protocol's STATS document — one renderer for every
-// transport, which is what makes them byte-comparable).
+// transport, which is what makes them byte-comparable). The payload
+// struct and encoder live in internal/live (StatsPayload) so that the
+// cluster layer can render its merged view through the same bytes.
 func writeStatsJSON(w io.Writer, c *live.Cache) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snapshot(c))
+	return live.WritePayload(w, c.Snapshot())
 }
 
 // backend adapts *live.Cache to proto.Backend: Get/Put pass through,
 // StatsJSON renders the exact /stats HTTP body.
 type backend struct {
 	*live.Cache
-}
-
-// StatsJSON implements proto.Backend.
-func (b backend) StatsJSON() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := writeStatsJSON(&buf, b.Cache); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
 }
 
 // newHandler wires the cache's HTTP surface.

@@ -9,6 +9,13 @@
 //	rwpstat results/metrics/single-ab12cd….jsonl
 //	rwpstat -dir results/metrics
 //	rwpstat -dir results/metrics -series
+//
+// Cluster runs (rwpcluster -journal-dir) write one probe journal per
+// node; pass each with a repeated -journal flag to get the merged
+// cluster table — per-node rows plus a summed merged row. The merge is
+// order-independent: flag order never changes the output.
+//
+//	rwpstat -journal j/node-node0.jsonl -journal j/node-node1.jsonl
 package main
 
 import (
@@ -34,6 +41,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", "", "load every *.jsonl journal in this directory")
 	series := fs.Bool("series", false, "also render each journal's per-interval time series")
+	var clusterFiles []string
+	fs.Func("journal", "repeatable: cluster node journal for the merged cluster table", func(s string) error {
+		clusterFiles = append(clusterFiles, s)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,8 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rwpstat: %v\n", err)
 		return 1
 	}
-	if len(paths) == 0 {
-		fmt.Fprintln(stderr, "rwpstat: no journals: pass files or -dir (see -h)")
+	if len(paths) == 0 && len(clusterFiles) == 0 {
+		fmt.Fprintln(stderr, "rwpstat: no journals: pass files, -dir, or -journal (see -h)")
 		return 2
 	}
 	var loaded []*namedJournal
@@ -55,9 +67,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		loaded = append(loaded, j)
 	}
-	if err := render(stdout, loaded, *series); err != nil {
-		fmt.Fprintf(stderr, "rwpstat: %v\n", err)
-		return 1
+	var nodes []*namedJournal
+	for _, p := range clusterFiles {
+		j, err := loadJournal(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+			return 1
+		}
+		nodes = append(nodes, j)
+	}
+	if len(loaded) > 0 {
+		if err := render(stdout, loaded, *series); err != nil {
+			fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+			return 1
+		}
+	}
+	if len(nodes) > 0 {
+		if len(loaded) > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if err := renderCluster(stdout, nodes); err != nil {
+			fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }
@@ -161,6 +193,47 @@ func render(w io.Writer, journals []*namedJournal, series bool) error {
 		}
 	}
 	return nil
+}
+
+// renderCluster writes the merged cluster table: one row per node
+// journal plus a summed merged row. Nodes are sorted by label before
+// rendering and every merged cell is a commutative sum, so the table
+// is invariant to -journal argument order — the property the cluster's
+// "merged view equals single-node view" differential tests rely on.
+func renderCluster(w io.Writer, nodes []*namedJournal) error {
+	sorted := append([]*namedJournal(nil), nodes...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].label < sorted[k].label })
+
+	t := report.New(fmt.Sprintf("cluster (merged over %d node journals)", len(sorted)),
+		"node", "accesses", "hits", "hit-rate", "hit-clean", "hit-dirty",
+		"bypasses", "evict-clean", "evict-dirty", "retargets")
+	var sum probe.ClassCounters
+	var evClean, evDirty uint64
+	var retargets int
+	row := func(label string, cc probe.ClassCounters, ec, ed uint64, rt int) {
+		rate := "-"
+		if cc.Accesses > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(cc.Hits)/float64(cc.Accesses))
+		}
+		t.AddRow(label, report.I(cc.Accesses), report.I(cc.Hits), rate,
+			report.I(cc.HitsClean), report.I(cc.HitsDirty), report.I(cc.Bypasses),
+			report.I(ec), report.I(ed), report.I(rt))
+	}
+	for _, nj := range sorted {
+		var cc probe.ClassCounters
+		for c := probe.Class(0); c < probe.NumClasses; c++ {
+			cc.Add(nj.j.Classes[c])
+		}
+		row(nj.label, cc, nj.j.EvictClean, nj.j.EvictDirty, len(nj.j.Retargets))
+		sum.Add(cc)
+		evClean += nj.j.EvictClean
+		evDirty += nj.j.EvictDirty
+		retargets += len(nj.j.Retargets)
+	}
+	t.AddRule()
+	row("merged", sum, evClean, evDirty, retargets)
+	t.Note = "rows sorted by journal label; merged row is the order-independent sum"
+	return t.Render(w)
 }
 
 // seriesTable renders one journal's interval records. Instructions,

@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/live/proto"
+	"rwp/internal/probe"
+)
+
+// NodeConn is the per-node transport the router drives: the pipelined
+// subset of proto.Client, which satisfies it directly. directConn
+// (cluster.go) satisfies it too, executing synchronously against an
+// in-process cache — the differential tests run both and demand
+// identical merged stats, which is the transport-equivalence contract
+// extended to the cluster layer.
+type NodeConn interface {
+	QueueGet(key string) error
+	QueuePut(key string, val []byte) error
+	QueueMGet(keys []string) error
+	QueueMPut(kvs []proto.KV) error
+	Depth() int
+	Flush() ([]proto.Reply, error)
+	Stats() ([]byte, error)
+	Close() error
+}
+
+var _ NodeConn = (*proto.Client)(nil)
+
+// Resetter purges a node's global cache-set range [lo, hi), returning
+// the number of entries purged. In-process nodes bind it to
+// live.Cache.ResetRange; it is what makes replica adds safe — a node
+// re-entering a shard's replica set may hold values that missed
+// interim writes, so its range starts cold and refills through the
+// node's Loader.
+type Resetter func(lo, hi int) int
+
+// ClientConfig wires a router.
+type ClientConfig struct {
+	// Ring maps keys to shards and shards to nodes. The router owns it
+	// (replica sets mutate at window boundaries).
+	Ring *Ring
+	// Conns holds one transport per ring node, index-aligned.
+	Conns []NodeConn
+	// Resetters is index-aligned with Conns; required when Manager is
+	// set, optional (nil) otherwise. Remote TCP nodes have no resetter,
+	// which is why the real-socket mode runs manager-off.
+	Resetters []Resetter
+	// Manager, when non-nil, runs the replication control loop at
+	// window boundaries.
+	Manager *Manager
+	// Window is the op-count window width for load sampling when no
+	// Manager is wired (0 = sample only at Finish). With a Manager, the
+	// manager's own window wins — sampling and deciding share a clock.
+	Window int
+	// Pipeline bounds queued ops between flushes during Replay (<= 0
+	// selects DefaultPipeline). Keep the implied burst bytes in the tens
+	// of KiB — see proto.Client.Flush.
+	Pipeline int
+}
+
+// DefaultPipeline is the Replay flush depth in routed operations.
+const DefaultPipeline = 32
+
+// Client routes key-value operations across the cluster. Reads go to
+// one rendezvous-picked replica of the key's shard; writes go to every
+// replica, so replication changes only where reads land, never what
+// they observe. It is not safe for concurrent use.
+//
+// The client is also the cluster's load sensor: every routed op lands
+// in an op-count window (per-shard read/write counters plus a digest
+// of deterministic service costs), and at each window boundary the
+// windows are journaled and — when a Manager is wired — turned into
+// replica commands. The service cost of an op is the serving node's
+// in-window op count at routing time: a pure congestion proxy that is
+// a function of the stream alone, so p99s, decisions, and therefore
+// entire cluster runs are bit-reproducible.
+type Client struct {
+	ring      *Ring
+	conns     []NodeConn
+	reset     []Resetter
+	mgr       *Manager
+	windowOps int
+	pipeline  int
+
+	// Current-window state, all op-count clocked.
+	window    int
+	opsInWin  int
+	reads     []uint64 // per shard
+	writes    []uint64 // per shard
+	digests   []*Digest
+	nodeLoad  []uint64 // per node: ops routed this window (cost proxy)
+	sinceFlsh int      // ops queued since the last flushAll
+
+	// Run log.
+	windows    []probe.ShardWindow
+	applied    []Command
+	totalOps   uint64
+	totalReads uint64
+	makespan   uint64 // sum over closed windows of max per-node load
+}
+
+// NewClient validates cfg and builds a router.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("cluster: nil ring")
+	}
+	if len(cfg.Conns) != len(cfg.Ring.Nodes()) {
+		return nil, fmt.Errorf("cluster: %d conns for %d ring nodes", len(cfg.Conns), len(cfg.Ring.Nodes()))
+	}
+	if cfg.Manager != nil {
+		if len(cfg.Resetters) != len(cfg.Conns) {
+			return nil, fmt.Errorf("cluster: manager requires one resetter per node")
+		}
+		for i, r := range cfg.Resetters {
+			if r == nil {
+				return nil, fmt.Errorf("cluster: manager requires a resetter for node %d", i)
+			}
+		}
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = DefaultPipeline
+	}
+	windowOps := cfg.Window
+	if cfg.Manager != nil {
+		windowOps = cfg.Manager.Config().Window
+	}
+	c := &Client{
+		ring:      cfg.Ring,
+		conns:     cfg.Conns,
+		reset:     cfg.Resetters,
+		mgr:       cfg.Manager,
+		windowOps: windowOps,
+		pipeline:  cfg.Pipeline,
+		reads:     make([]uint64, cfg.Ring.Shards()),
+		writes:    make([]uint64, cfg.Ring.Shards()),
+		digests:   make([]*Digest, cfg.Ring.Shards()),
+		nodeLoad:  make([]uint64, len(cfg.Conns)),
+	}
+	for s := range c.digests {
+		c.digests[s] = NewDigest()
+	}
+	return c, nil
+}
+
+// Ring returns the router's ring (replica sets reflect applied
+// commands).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// accountRead records a read of shard s served by node n and returns
+// nothing; the service cost is the node's pre-increment in-window load.
+func (c *Client) accountRead(s, n int) {
+	c.digests[s].Add(int(c.nodeLoad[n]))
+	c.nodeLoad[n]++
+	c.reads[s]++
+	c.totalReads++
+	c.tick()
+}
+
+// accountWrite records a write to shard s fanned to nodes ns: one
+// stream op, one unit of load on every replica.
+func (c *Client) accountWrite(s int, ns []int) {
+	for _, n := range ns {
+		c.nodeLoad[n]++
+	}
+	c.writes[s]++
+	c.tick()
+}
+
+// tick advances the op clock; the boundary is processed by the public
+// entry points (see boundary), after the op is safely queued.
+func (c *Client) tick() {
+	c.totalOps++
+	c.opsInWin++
+}
+
+// boundary closes the window once the op clock crosses it. The
+// boundary must not tear a pipelined burst: every queued op belongs to
+// the closing window, so the wire is drained before the replica sets
+// move. This is what keeps direct and pipe modes bit-identical — both
+// apply all window-W ops before any window-W replica command. A batch
+// op that overshoots the boundary lands whole in the closing window
+// (batches are atomic with respect to windows).
+func (c *Client) boundary() error {
+	if c.mgrWindow() == 0 || c.opsInWin < c.mgrWindow() {
+		return nil
+	}
+	if err := c.flushAll(); err != nil {
+		return err
+	}
+	c.closeWindow(true)
+	return nil
+}
+
+// mgrWindow returns the op-count window width (0 = windowing by
+// explicit Finish only).
+func (c *Client) mgrWindow() int { return c.windowOps }
+
+// closeWindow emits the current window's shard samples, optionally
+// consults the manager, applies its commands, and resets the window
+// state. Samples cover every shard — idle replicated shards must be
+// visible or the manager could never collapse them.
+func (c *Client) closeWindow(decide bool) {
+	var maxLoad uint64
+	for _, l := range c.nodeLoad {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	c.makespan += maxLoad
+	start := len(c.windows)
+	for s := 0; s < c.ring.Shards(); s++ {
+		c.windows = append(c.windows, probe.ShardWindow{
+			Window: c.window, Shard: s,
+			Reads: c.reads[s], Writes: c.writes[s],
+			P99Cost:  c.digests[s].Percentile(99),
+			Replicas: c.ring.ReplicaCount(s),
+		})
+	}
+	if decide && c.mgr != nil {
+		for _, cmd := range c.mgr.Decide(c.windows[start:], len(c.conns)) {
+			c.apply(cmd)
+		}
+	}
+	for s := range c.reads {
+		c.reads[s], c.writes[s] = 0, 0
+		c.digests[s].Reset()
+	}
+	for n := range c.nodeLoad {
+		c.nodeLoad[n] = 0
+	}
+	c.window++
+	c.opsInWin = 0
+}
+
+// apply executes one manager command against the ring, resetting a
+// newly added replica's set range so it starts cold (see Resetter).
+func (c *Client) apply(cmd Command) {
+	switch cmd.Kind {
+	case AddReplica:
+		n, ok := c.ring.AddReplica(cmd.Shard)
+		if !ok {
+			return
+		}
+		lo, hi := c.ring.SetRange(cmd.Shard)
+		c.reset[n](lo, hi)
+	case DropReplica:
+		if _, ok := c.ring.DropReplica(cmd.Shard); !ok {
+			return
+		}
+	}
+	c.applied = append(c.applied, cmd)
+}
+
+// flushAll drains every node connection in node order.
+func (c *Client) flushAll() error {
+	for i, conn := range c.conns {
+		if conn.Depth() == 0 {
+			continue
+		}
+		if _, err := conn.Flush(); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	c.sinceFlsh = 0
+	return nil
+}
+
+// queueRead routes one read and queues it (no flush).
+func (c *Client) queueRead(key string) (node int, err error) {
+	h := live.HashKey(key)
+	s := c.ring.Shard(h)
+	n := c.ring.ReadNode(s, h)
+	if err := c.conns[n].QueueGet(key); err != nil {
+		return n, err
+	}
+	c.sinceFlsh++
+	c.accountRead(s, n)
+	return n, nil
+}
+
+// queueWrite routes one write to every replica and queues it.
+func (c *Client) queueWrite(key string, val []byte) (primary int, err error) {
+	s := c.ring.KeyShard(key)
+	ns := c.ring.Replicas(s)
+	for _, n := range ns {
+		if err := c.conns[n].QueuePut(key, val); err != nil {
+			return ns[0], err
+		}
+		c.sinceFlsh++
+	}
+	c.accountWrite(s, ns)
+	return ns[0], nil
+}
+
+// Replay streams ops through the cluster pipelined: route, queue,
+// flush every Pipeline queued requests (and at every window boundary),
+// discarding replies. It is the bulk driver behind selftests and
+// benches.
+func (c *Client) Replay(ops []loadgen.Op) error {
+	for _, op := range ops {
+		var err error
+		if op.Put {
+			_, err = c.queueWrite(op.Key, op.Value)
+		} else {
+			_, err = c.queueRead(op.Key)
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.boundary(); err != nil {
+			return err
+		}
+		if c.sinceFlsh >= c.pipeline {
+			if err := c.flushAll(); err != nil {
+				return err
+			}
+		}
+	}
+	return c.flushAll()
+}
+
+// Get routes one read synchronously.
+func (c *Client) Get(key string) (proto.GetResult, error) {
+	if err := c.flushAll(); err != nil {
+		return proto.GetResult{}, err
+	}
+	n, err := c.queueRead(key)
+	if err != nil {
+		return proto.GetResult{}, err
+	}
+	replies, err := c.conns[n].Flush()
+	if err != nil {
+		return proto.GetResult{}, err
+	}
+	c.sinceFlsh = 0
+	return replies[len(replies)-1].Get, c.boundary()
+}
+
+// Put routes one write synchronously, reporting the primary replica's
+// inserted flag.
+func (c *Client) Put(key string, val []byte) (bool, error) {
+	if err := c.flushAll(); err != nil {
+		return false, err
+	}
+	primary, err := c.queueWrite(key, val)
+	if err != nil {
+		return false, err
+	}
+	var inserted bool
+	for _, n := range c.ring.Replicas(c.ring.KeyShard(key)) {
+		replies, err := c.conns[n].Flush()
+		if err != nil {
+			return false, err
+		}
+		if n == primary {
+			inserted = replies[len(replies)-1].Inserted
+		}
+	}
+	c.sinceFlsh = 0
+	return inserted, c.boundary()
+}
+
+// MGet fans a batch read across the cluster in one frame per involved
+// node and merges the per-node replies back into request order.
+func (c *Client) MGet(keys []string) ([]proto.GetResult, error) {
+	if err := c.flushAll(); err != nil {
+		return nil, err
+	}
+	batchKeys := make([][]string, len(c.conns))
+	batchIdx := make([][]int, len(c.conns))
+	for i, key := range keys {
+		h := live.HashKey(key)
+		s := c.ring.Shard(h)
+		n := c.ring.ReadNode(s, h)
+		batchKeys[n] = append(batchKeys[n], key)
+		batchIdx[n] = append(batchIdx[n], i)
+		c.accountRead(s, n)
+	}
+	out := make([]proto.GetResult, len(keys))
+	for n, ks := range batchKeys {
+		if len(ks) == 0 {
+			continue
+		}
+		if err := c.conns[n].QueueMGet(ks); err != nil {
+			return nil, err
+		}
+		replies, err := c.conns[n].Flush()
+		if err != nil {
+			return nil, err
+		}
+		gets := replies[len(replies)-1].Gets
+		if len(gets) != len(ks) {
+			return nil, fmt.Errorf("cluster: node %d returned %d results for %d keys", n, len(gets), len(ks))
+		}
+		for j, g := range gets {
+			out[batchIdx[n][j]] = g
+		}
+	}
+	return out, c.boundary()
+}
+
+// MPut fans a batch write to every involved replica in one frame per
+// node, merging inserted flags (from each key's primary) into request
+// order.
+func (c *Client) MPut(kvs []proto.KV) ([]bool, error) {
+	if err := c.flushAll(); err != nil {
+		return nil, err
+	}
+	batch := make([][]proto.KV, len(c.conns))
+	primIdx := make([][]int, len(c.conns)) // orig index when this node is the key's primary, else -1
+	for i, kv := range kvs {
+		s := c.ring.KeyShard(kv.Key)
+		ns := c.ring.Replicas(s)
+		for _, n := range ns {
+			batch[n] = append(batch[n], kv)
+			orig := -1
+			if n == ns[0] {
+				orig = i
+			}
+			primIdx[n] = append(primIdx[n], orig)
+		}
+		c.accountWrite(s, ns)
+	}
+	out := make([]bool, len(kvs))
+	for n, b := range batch {
+		if len(b) == 0 {
+			continue
+		}
+		if err := c.conns[n].QueueMPut(b); err != nil {
+			return nil, err
+		}
+		replies, err := c.conns[n].Flush()
+		if err != nil {
+			return nil, err
+		}
+		ins := replies[len(replies)-1].Inserts
+		if len(ins) != len(b) {
+			return nil, fmt.Errorf("cluster: node %d returned %d inserts for %d pairs", n, len(ins), len(b))
+		}
+		for j, flag := range ins {
+			if orig := primIdx[n][j]; orig >= 0 {
+				out[orig] = flag
+			}
+		}
+	}
+	return out, c.boundary()
+}
+
+// Finish drains the wire and closes a trailing partial window (emitted
+// in the journal, but never fed to the manager — decisions happen only
+// on full windows). Call it once after the last op.
+func (c *Client) Finish() error {
+	if err := c.flushAll(); err != nil {
+		return err
+	}
+	if c.opsInWin > 0 {
+		c.closeWindow(false)
+	}
+	return nil
+}
+
+// Windows returns the journaled shard-window log so far.
+func (c *Client) Windows() []probe.ShardWindow { return c.windows }
+
+// AppliedCommands returns the replica commands applied so far, in
+// order.
+func (c *Client) AppliedCommands() []Command { return c.applied }
+
+// TotalOps returns the routed op count.
+func (c *Client) TotalOps() uint64 { return c.totalOps }
+
+// TotalReads returns the routed read count.
+func (c *Client) TotalReads() uint64 { return c.totalReads }
+
+// Makespan returns the modeled parallel completion time in load units:
+// the sum over closed windows of the busiest node's in-window load.
+// totalReads/Makespan is the bench's deterministic read-throughput
+// model — replicating a hot shard lowers the busiest node's share, so
+// the model rewards exactly what the manager is supposed to achieve.
+func (c *Client) Makespan() uint64 { return c.makespan }

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"rwp/internal/live"
+	"rwp/internal/live/backend"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/live/proto"
+	"rwp/internal/probe"
+)
+
+// probeWrite/probeRead adapt the window codec for the round-trip test.
+func probeWrite(w io.Writer, ws []probe.ShardWindow) error {
+	return probe.WriteShardWindows(w, "cluster test", 1024, ws)
+}
+
+func probeRead(r io.Reader) ([]probe.ShardWindow, error) {
+	_, _, ws, err := probe.ReadShardWindows(r)
+	return ws, err
+}
+
+// testCacheConfig is the shared per-node geometry: small enough to
+// force evictions under the test streams, RWP policy with probes on so
+// the merged document exercises every section.
+func testCacheConfig() live.Config {
+	return live.Config{
+		Sets: 256, Ways: 4, Shards: 4,
+		Policy: "rwp", RWP: live.DefaultRWPConfig(),
+		Loader: loadgen.Loader(32),
+		Record: true,
+	}
+}
+
+func testStream(t *testing.T, n int) []loadgen.Op {
+	t.Helper()
+	h, err := loadgen.NewHotspot(loadgen.HotspotConfig{
+		HotKeys: 16, ColdKeys: 4096,
+		HotFrac: 0.7, WriteFrac: 0.25,
+		ValueSize: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Ops(n)
+}
+
+func harnessIDs(k int) []string {
+	ids := make([]string, k)
+	for i := range ids {
+		ids[i] = "node" + string(rune('0'+i))
+	}
+	return ids
+}
+
+// TestClusterMatchesSingleNode is the cluster layer's transport-
+// equivalence anchor: a replication-factor-1 cluster (manager off) at
+// any node count and any ring-shard count produces a merged stats
+// document byte-identical to one node absorbing the whole stream. This
+// holds because a ring shard is a contiguous cache-set range and each
+// set's entire op subsequence lands on exactly one node.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	ops := testStream(t, 20000)
+	single, err := live.New(testCacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		loadgen.Apply(single, op)
+	}
+	want, err := single.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 3, 5} {
+		for _, ringShards := range []int{16, 64} {
+			h, err := NewHarness(HarnessConfig{
+				NodeIDs:    harnessIDs(nodes),
+				RingShards: ringShards,
+				Cache:      testCacheConfig(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Client().Replay(ops); err != nil {
+				t.Fatal(err)
+			}
+			got, err := h.MergedStatsJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("nodes=%d ringShards=%d: merged stats differ from single node\nmerged: %s\nsingle: %s",
+					nodes, ringShards, got, want)
+			}
+			if err := h.Close(); err != nil {
+				t.Errorf("nodes=%d ringShards=%d: Close: %v", nodes, ringShards, err)
+			}
+		}
+	}
+}
+
+// TestPipeEqualsDirect runs the same managed stream through the
+// synchronous direct transport and through real pipelined binary
+// connections, demanding identical merged documents, window journals,
+// and applied replica commands — the wire adds framing, never
+// behavior.
+func TestPipeEqualsDirect(t *testing.T) {
+	ops := testStream(t, 12000)
+	run := func(mode Mode) (*Cluster, []byte) {
+		mgr, err := NewManager(ManagerConfig{Window: 1024, HotReads: 128, ColdReads: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHarness(HarnessConfig{
+			NodeIDs:    harnessIDs(3),
+			RingShards: 16,
+			Cache:      testCacheConfig(),
+			Mode:       mode,
+			Manager:    mgr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client().Replay(ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client().Finish(); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := h.MergedStatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, doc
+	}
+	hd, docD := run(Direct)
+	hp, docP := run(Pipe)
+	if !bytes.Equal(docD, docP) {
+		t.Errorf("direct and pipe merged stats differ:\ndirect: %s\npipe: %s", docD, docP)
+	}
+	wd, wp := hd.Client().Windows(), hp.Client().Windows()
+	if len(wd) != len(wp) {
+		t.Fatalf("window journals differ in length: %d vs %d", len(wd), len(wp))
+	}
+	for i := range wd {
+		if wd[i] != wp[i] {
+			t.Fatalf("window record %d differs: %+v vs %+v", i, wd[i], wp[i])
+		}
+	}
+	cd, cp := hd.Client().AppliedCommands(), hp.Client().AppliedCommands()
+	if len(cd) != len(cp) {
+		t.Fatalf("applied commands differ in length: %d vs %d", len(cd), len(cp))
+	}
+	for i := range cd {
+		if cd[i] != cp[i] {
+			t.Fatalf("command %d differs: %v vs %v", i, cd[i], cp[i])
+		}
+	}
+	if len(cd) == 0 {
+		t.Error("managed run applied no replica commands — test stream too tame")
+	}
+	if err := hd.Close(); err != nil {
+		t.Errorf("direct Close: %v", err)
+	}
+	if err := hp.Close(); err != nil {
+		t.Errorf("pipe Close: %v", err)
+	}
+}
+
+// TestManagedRunBitIdentical pins whole-run determinism with the
+// control loop active: two identical managed runs produce identical
+// merged documents, journals, and decision streams.
+func TestManagedRunBitIdentical(t *testing.T) {
+	ops := testStream(t, 12000)
+	doOne := func() ([]byte, []Command) {
+		mgr, err := NewManager(ManagerConfig{Window: 1024, HotReads: 128, ColdReads: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHarness(HarnessConfig{
+			NodeIDs:    harnessIDs(3),
+			RingShards: 16,
+			Cache:      testCacheConfig(),
+			Manager:    mgr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client().Replay(ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := h.MergedStatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc, h.Client().AppliedCommands()
+	}
+	docA, cmdA := doOne()
+	docB, cmdB := doOne()
+	if !bytes.Equal(docA, docB) {
+		t.Error("two identical managed runs produced different merged stats")
+	}
+	if len(cmdA) != len(cmdB) {
+		t.Fatalf("command streams differ in length: %d vs %d", len(cmdA), len(cmdB))
+	}
+	for i := range cmdA {
+		if cmdA[i] != cmdB[i] {
+			t.Fatalf("command %d differs: %v vs %v", i, cmdA[i], cmdB[i])
+		}
+	}
+}
+
+// TestBatchFanout pins MGet/MPut routing: batches split per node and
+// the merged results come back in request order with single-op
+// semantics.
+func TestBatchFanout(t *testing.T) {
+	h, err := NewHarness(HarnessConfig{
+		NodeIDs:    harnessIDs(3),
+		RingShards: 16,
+		Cache:      testCacheConfig(),
+		Mode:       Pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	cl := h.Client()
+
+	kvs := make([]proto.KV, 64)
+	keys := make([]string, 64)
+	for i := range kvs {
+		keys[i] = loadgen.HotKey(i)
+		kvs[i] = proto.KV{Key: keys[i], Value: loadgen.Value(keys[i], 32)}
+	}
+	ins, err := cl.MPut(kvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, flag := range ins {
+		if !flag {
+			t.Errorf("MPut %d: fresh key not inserted", i)
+		}
+	}
+	ins, err = cl.MPut(kvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, flag := range ins {
+		if flag {
+			t.Errorf("MPut %d: overwrite reported as insert", i)
+		}
+	}
+	got, err := cl.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("MGet returned %d results for %d keys", len(got), len(keys))
+	}
+	for i, g := range got {
+		if g.Status != proto.StatusHit {
+			t.Errorf("MGet %d (%s): status %v, want hit", i, keys[i], g.Status)
+		}
+		if !bytes.Equal(g.Value, kvs[i].Value) {
+			t.Errorf("MGet %d (%s): wrong value", i, keys[i])
+		}
+	}
+	// A key no node has ever seen, with the loader on: fill.
+	res, err := cl.MGet([]string{"never-written"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != proto.StatusFill {
+		t.Errorf("unseen key status %v, want fill", res[0].Status)
+	}
+}
+
+// TestReadYourWriteAcrossReplicaChurn is the replication-safety test:
+// writes fan to every replica, and a node re-entering a shard's
+// replica set is reset cold so it refills through the shared backing
+// store — a reader can never observe a value older than the last write
+// routed through the cluster, no matter how the manager moved replicas
+// in between.
+func TestReadYourWriteAcrossReplicaChurn(t *testing.T) {
+	store := backend.NewMap()
+	cfg := testCacheConfig()
+	cfg.Loader = store.Loader()
+	mgr, err := NewManager(ManagerConfig{Window: 64, HotReads: 32, ColdReads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(HarnessConfig{
+		NodeIDs:    harnessIDs(3),
+		RingShards: 16,
+		Cache:      cfg,
+		Manager:    mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	cl := h.Client()
+
+	const k = "churn-key"
+	shard := h.Ring().KeyShard(k)
+	write := func(val string) {
+		store.Put(k, []byte(val))
+		if _, err := cl.Put(k, []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readMustSee := func(val string, times int) {
+		t.Helper()
+		for i := 0; i < times; i++ {
+			g, err := cl.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(g.Value, []byte(val)) {
+				t.Fatalf("read %d of %q = %q (status %v), want %q (replicas %v)",
+					i, k, g.Value, g.Status, val, h.Ring().Replicas(shard))
+			}
+		}
+	}
+	// Off-shard keys to cool the hot shard down without touching it.
+	var coolKeys []string
+	for i := 0; len(coolKeys) < 16; i++ {
+		key := loadgen.ColdKey(i)
+		if h.Ring().KeyShard(key) != shard {
+			coolKeys = append(coolKeys, key)
+		}
+	}
+	cool := func(windows int) {
+		for i := 0; i < windows*64; i++ {
+			if _, err := cl.Get(coolKeys[i%len(coolKeys)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Heat the shard: the manager must replicate it.
+	write("v1")
+	readMustSee("v1", 200)
+	if got := h.Ring().ReplicaCount(shard); got < 2 {
+		t.Fatalf("hot shard not replicated: %d replicas", got)
+	}
+	// Writes reach every replica: rendezvous-spread reads all see v2.
+	write("v2")
+	readMustSee("v2", 100)
+
+	// Cool down: replicas collapse back to the primary.
+	cool(6)
+	if got := h.Ring().ReplicaCount(shard); got != 1 {
+		t.Fatalf("cold shard kept %d replicas", got)
+	}
+	// Write while unreplicated: the dropped nodes now hold stale v2.
+	write("v3")
+	// Re-heat: the re-added replica must come back cold and refill from
+	// the store, not serve its stale copy.
+	readMustSee("v3", 200)
+	if got := h.Ring().ReplicaCount(shard); got < 2 {
+		t.Fatalf("re-heated shard not replicated: %d replicas", got)
+	}
+	readMustSee("v3", 100)
+
+	var adds, drops int
+	for _, cmd := range cl.AppliedCommands() {
+		if cmd.Shard != shard {
+			continue
+		}
+		if cmd.Kind == AddReplica {
+			adds++
+		} else {
+			drops++
+		}
+	}
+	if adds < 2 || drops < 1 {
+		t.Errorf("expected add/drop/re-add churn on shard %d, got %d adds %d drops (commands %v)",
+			shard, adds, drops, cl.AppliedCommands())
+	}
+}
+
+// TestWindowJournalRoundTrip writes a run's window log through the
+// probe codec and replays the manager over it, matching the live
+// decision stream — the journal really is sufficient to reproduce the
+// control loop.
+func TestWindowJournalRoundTrip(t *testing.T) {
+	ops := testStream(t, 8000)
+	mgr, err := NewManager(ManagerConfig{Window: 1024, HotReads: 128, ColdReads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(HarnessConfig{
+		NodeIDs:    harnessIDs(3),
+		RingShards: 16,
+		Cache:      testCacheConfig(),
+		Manager:    mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Client().Replay(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Client().Finish(); err != nil {
+		t.Fatal(err)
+	}
+	ws := h.Client().Windows()
+	if len(ws) == 0 {
+		t.Fatal("no windows journaled")
+	}
+	var buf bytes.Buffer
+	if err := probeWrite(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := probeRead(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(ws) {
+		t.Fatalf("decoded %d windows, journaled %d", len(decoded), len(ws))
+	}
+	for i := range ws {
+		if decoded[i] != ws[i] {
+			t.Fatalf("window %d: decoded %+v, journaled %+v", i, decoded[i], ws[i])
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rwp/internal/live"
+	"rwp/internal/live/proto"
+	"rwp/internal/probe"
+)
+
+// Mode selects the harness transport.
+type Mode string
+
+const (
+	// Direct executes ops synchronously against the in-process caches —
+	// single-goroutine, the reference semantics.
+	Direct Mode = "direct"
+	// Pipe runs each node behind proto.ServeConn over a net.Pipe and
+	// routes through real pipelined proto.Clients — the wire semantics.
+	// The differential tests demand both modes produce identical merged
+	// stats documents.
+	Pipe Mode = "pipe"
+)
+
+// HarnessConfig assembles an in-process cluster.
+type HarnessConfig struct {
+	// NodeIDs names the nodes (ring identity; also the journal labels).
+	NodeIDs []string
+	// RingShards and Vnodes shape the ring (see New).
+	RingShards int
+	Vnodes     int
+	// Cache is the per-node cache geometry; every node gets an
+	// identical, independent instance.
+	Cache live.Config
+	// Mode selects direct or pipe transport (empty = Direct).
+	Mode Mode
+	// Manager optionally wires the replication control loop.
+	Manager *Manager
+	// Window is the manager-less load-sampling window (see ClientConfig).
+	Window int
+	// Pipeline is the router's flush depth (see ClientConfig).
+	Pipeline int
+}
+
+// Cluster is an in-process multi-node cache: N independent live
+// caches, a ring, and a routing client over direct or piped
+// connections. It exists for selftests, differential tests, and the
+// deterministic bench; the real-socket deployment is cmd/rwpcluster
+// against rwpserve -tcp processes.
+type Cluster struct {
+	cfg    HarnessConfig
+	ring   *Ring
+	caches []*live.Cache
+	client *Client
+	conns  []NodeConn
+
+	wg      sync.WaitGroup
+	srvErrs []error // per node, written by the server goroutine (pipe mode)
+}
+
+// NewHarness builds and wires the cluster.
+func NewHarness(cfg HarnessConfig) (*Cluster, error) {
+	if len(cfg.NodeIDs) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = Direct
+	}
+	if cfg.Mode != Direct && cfg.Mode != Pipe {
+		return nil, fmt.Errorf("cluster: unknown mode %q", cfg.Mode)
+	}
+	ring, err := New(cfg.Cache.Sets, cfg.RingShards, cfg.NodeIDs, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	h := &Cluster{
+		cfg:     cfg,
+		ring:    ring,
+		caches:  make([]*live.Cache, len(cfg.NodeIDs)),
+		conns:   make([]NodeConn, len(cfg.NodeIDs)),
+		srvErrs: make([]error, len(cfg.NodeIDs)),
+	}
+	resetters := make([]Resetter, len(cfg.NodeIDs))
+	for i := range cfg.NodeIDs {
+		c, err := live.New(cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+		h.caches[i] = c
+		resetters[i] = c.ResetRange
+		switch cfg.Mode {
+		case Direct:
+			h.conns[i] = &directConn{cache: c}
+		case Pipe:
+			cliEnd, srvEnd := net.Pipe()
+			h.wg.Add(1)
+			go func(i int, conn net.Conn) {
+				defer h.wg.Done()
+				h.srvErrs[i] = proto.ServeConn(conn, h.caches[i])
+			}(i, srvEnd)
+			h.conns[i] = proto.NewClient(cliEnd)
+		}
+	}
+	h.client, err = NewClient(ClientConfig{
+		Ring:      ring,
+		Conns:     h.conns,
+		Resetters: resetters,
+		Manager:   cfg.Manager,
+		Window:    cfg.Window,
+		Pipeline:  cfg.Pipeline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Client returns the routing client.
+func (h *Cluster) Client() *Client { return h.client }
+
+// Ring returns the cluster's ring.
+func (h *Cluster) Ring() *Ring { return h.ring }
+
+// Caches exposes the per-node caches (tests and journal writers only;
+// going around the router on a live cluster breaks the write-to-all
+// invariant).
+func (h *Cluster) Caches() []*live.Cache { return h.caches }
+
+// Close drains the router and tears the transports down. In pipe mode
+// it waits for every server loop to exit and reports the first server
+// error (a peer-close is clean and reports nil).
+func (h *Cluster) Close() error {
+	err := h.client.Finish()
+	for _, conn := range h.conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	h.wg.Wait()
+	for _, serr := range h.srvErrs {
+		if serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// MergedSnapshot assembles the cluster's merged stats document: each
+// ring shard's set range summed from the shard's primary node (every
+// set counted exactly once), probe counters summed across all nodes.
+// At replication factor one this equals a single-node Snapshot over
+// the same op stream byte for byte; with replication it remains the
+// deterministic primary view (replica reads land in the probe section,
+// not the per-set counters).
+func (h *Cluster) MergedSnapshot() live.StatsPayload {
+	p := h.caches[0].Snapshot()
+	var merged live.Stats
+	for s := 0; s < h.ring.Shards(); s++ {
+		lo, hi := h.ring.SetRange(s)
+		st := h.caches[h.ring.Primary(s)].StatsRange(lo, hi)
+		merged.Add(st)
+	}
+	p.Stats = merged
+	p.Probe = h.mergedProbe()
+	return p
+}
+
+// mergedProbe sums every node's probe section (nil when recording is
+// off — the geometry is identical across nodes, so it is all or none).
+func (h *Cluster) mergedProbe() *live.ProbeView {
+	var out *live.ProbeView
+	for _, c := range h.caches {
+		v := live.NewProbeView(c.ProbeStats())
+		if v == nil {
+			return nil
+		}
+		if out == nil {
+			out = &live.ProbeView{}
+		}
+		out.Load.Add(v.Load)
+		out.Store.Add(v.Store)
+		out.EvictClean += v.EvictClean
+		out.EvictDirty += v.EvictDirty
+	}
+	return out
+}
+
+// MergedStatsJSON renders the merged document through the same
+// renderer as every single-node transport.
+func (h *Cluster) MergedStatsJSON() ([]byte, error) {
+	var buf []byte
+	w := writerFunc(func(p []byte) (int, error) {
+		buf = append(buf, p...)
+		return len(p), nil
+	})
+	if err := live.WritePayload(w, h.MergedSnapshot()); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// WriteNodeJournals writes one probe run journal per node under dir
+// (node-<id>.jsonl), labelled with the node id. It requires the caches
+// to be built with Config.Record. rwpstat merges them into the cluster
+// table.
+func (h *Cluster) WriteNodeJournals(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, c := range h.caches {
+		rec := c.ProbeStats()
+		if rec == nil {
+			return fmt.Errorf("cluster: node %s has no probe recorder (set Cache.Record)", h.cfg.NodeIDs[i])
+		}
+		path := filepath.Join(dir, "node-"+h.cfg.NodeIDs[i]+".jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		hErr := probe.WriteJournal(f, probe.Header{
+			Kind: "cluster-node",
+			Desc: "node " + h.cfg.NodeIDs[i],
+		}, nil, rec)
+		if cErr := f.Close(); hErr == nil {
+			hErr = cErr
+		}
+		if hErr != nil {
+			return fmt.Errorf("cluster: journal %s: %w", path, hErr)
+		}
+	}
+	return nil
+}
+
+// directConn is the synchronous NodeConn: ops execute against the
+// in-process cache at queue time, replies accumulate until Flush.
+// Because node caches share no state, applying ops at queue time and
+// at flush time are indistinguishable — which is exactly why direct
+// and pipe runs produce identical merged stats.
+type directConn struct {
+	cache   *live.Cache
+	replies []proto.Reply
+}
+
+func (d *directConn) QueueGet(key string) error {
+	d.replies = append(d.replies, proto.Reply{Op: proto.OpGet, Get: d.get(key)})
+	return nil
+}
+
+func (d *directConn) QueuePut(key string, val []byte) error {
+	ins := d.cache.Put(key, val)
+	d.replies = append(d.replies, proto.Reply{Op: proto.OpPut, Inserted: ins})
+	return nil
+}
+
+func (d *directConn) QueueMGet(keys []string) error {
+	gets := make([]proto.GetResult, len(keys))
+	for i, k := range keys {
+		gets[i] = d.get(k)
+	}
+	d.replies = append(d.replies, proto.Reply{Op: proto.OpMGet, Gets: gets})
+	return nil
+}
+
+func (d *directConn) QueueMPut(kvs []proto.KV) error {
+	ins := make([]bool, len(kvs))
+	for i, kv := range kvs {
+		ins[i] = d.cache.Put(kv.Key, kv.Value)
+	}
+	d.replies = append(d.replies, proto.Reply{Op: proto.OpMPut, Inserts: ins})
+	return nil
+}
+
+// get mirrors proto's backendGet status mapping exactly.
+func (d *directConn) get(key string) proto.GetResult {
+	val, hit := d.cache.Get(key)
+	switch {
+	case hit:
+		return proto.GetResult{Status: proto.StatusHit, Value: val}
+	case val != nil:
+		return proto.GetResult{Status: proto.StatusFill, Value: val}
+	default:
+		return proto.GetResult{Status: proto.StatusMiss}
+	}
+}
+
+func (d *directConn) Depth() int { return len(d.replies) }
+
+func (d *directConn) Flush() ([]proto.Reply, error) {
+	r := d.replies
+	d.replies = nil
+	return r, nil
+}
+
+func (d *directConn) Stats() ([]byte, error) { return d.cache.StatsJSON() }
+
+func (d *directConn) Close() error { return nil }

@@ -1,0 +1,65 @@
+package cluster
+
+import "sort"
+
+// Digest accumulates integer service costs and answers exact
+// percentile queries. Costs here are deterministic queue-depth proxies
+// (see Client), small non-negative integers, so an exact
+// sparse-histogram digest is both cheap and bit-reproducible — no
+// sampling, no floating point, no approximation to drift between runs.
+type Digest struct {
+	counts map[int]uint64
+	n      uint64
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{counts: make(map[int]uint64)} }
+
+// Add records one cost observation. Negative costs panic: the cost
+// model only produces depths >= 0, so a negative value is a router bug.
+func (d *Digest) Add(cost int) {
+	if cost < 0 {
+		panic("cluster: negative cost")
+	}
+	d.counts[cost]++
+	d.n++
+}
+
+// N returns the number of observations.
+func (d *Digest) N() uint64 { return d.n }
+
+// Percentile returns the exact p-th percentile (1 <= p <= 100) by the
+// nearest-rank method: the smallest cost c such that at least
+// ceil(n*p/100) observations are <= c. An empty digest returns 0.
+func (d *Digest) Percentile(p int) int {
+	if p < 1 || p > 100 {
+		panic("cluster: percentile out of range")
+	}
+	if d.n == 0 {
+		return 0
+	}
+	rank := (d.n*uint64(p) + 99) / 100
+	// Histogram keys in ascending cost order; map iteration order is not
+	// observable in the result because we sort first.
+	costs := make([]int, 0, len(d.counts))
+	for c := range d.counts {
+		costs = append(costs, c)
+	}
+	sort.Ints(costs)
+	var cum uint64
+	for _, c := range costs {
+		cum += d.counts[c]
+		if cum >= rank {
+			return c
+		}
+	}
+	return costs[len(costs)-1]
+}
+
+// Reset clears the digest for the next window, keeping its capacity.
+func (d *Digest) Reset() {
+	for c := range d.counts {
+		delete(d.counts, c)
+	}
+	d.n = 0
+}

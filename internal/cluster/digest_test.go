@@ -1,0 +1,71 @@
+package cluster
+
+import "testing"
+
+func TestDigestPercentiles(t *testing.T) {
+	d := NewDigest()
+	if got := d.Percentile(99); got != 0 {
+		t.Fatalf("empty digest p99 = %d, want 0", got)
+	}
+	// 1..100, one each: pXX is exactly XX by nearest rank.
+	for i := 1; i <= 100; i++ {
+		d.Add(i)
+	}
+	for _, p := range []int{1, 50, 99, 100} {
+		if got := d.Percentile(p); got != p {
+			t.Errorf("p%d = %d, want %d", p, got, p)
+		}
+	}
+	if d.N() != 100 {
+		t.Errorf("N = %d, want 100", d.N())
+	}
+}
+
+func TestDigestSkewedTail(t *testing.T) {
+	d := NewDigest()
+	for i := 0; i < 990; i++ {
+		d.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(500)
+	}
+	if got := d.Percentile(50); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	// rank(p99) = ceil(1000*99/100) = 990 → still the 1s.
+	if got := d.Percentile(99); got != 1 {
+		t.Errorf("p99 = %d, want 1", got)
+	}
+	if got := d.Percentile(100); got != 500 {
+		t.Errorf("p100 = %d, want 500", got)
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewDigest()
+	d.Add(7)
+	d.Reset()
+	if d.N() != 0 || d.Percentile(99) != 0 {
+		t.Fatalf("after Reset: N=%d p99=%d", d.N(), d.Percentile(99))
+	}
+	d.Add(3)
+	if got := d.Percentile(99); got != 3 {
+		t.Fatalf("p99 after refill = %d, want 3", got)
+	}
+}
+
+func TestDigestDeterministicAcrossInsertOrder(t *testing.T) {
+	a, b := NewDigest(), NewDigest()
+	vals := []int{9, 1, 4, 4, 7, 2, 9, 9, 0, 3}
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Add(vals[i])
+	}
+	for p := 1; p <= 100; p++ {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%d differs across insert order", p)
+		}
+	}
+}

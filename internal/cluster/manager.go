@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rwp/internal/probe"
+)
+
+// ManagerConfig tunes the shard manager's replication policy.
+type ManagerConfig struct {
+	// Window is the decision cadence in routed operations: the router
+	// closes a window and consults the manager every Window ops.
+	Window int
+	// HotReads marks a shard hot: at least this many reads in a window.
+	HotReads uint64
+	// ColdReads marks a shard cold: at most this many reads in a window.
+	ColdReads uint64
+	// HotP99 additionally requires the shard's windowed p99 service cost
+	// to reach this value before replicating (0 disables the check, so
+	// read volume alone triggers growth).
+	HotP99 int
+	// MaxReplicas caps a shard's replica set (<= 0 means no cap beyond
+	// the node count).
+	MaxReplicas int
+}
+
+// DefaultManagerConfig returns the harness's baseline policy: decide
+// every 4096 ops, replicate shards drawing more than half the window's
+// fair share of reads, and collapse shards that have gone quiet.
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{Window: 4096, HotReads: 512, ColdReads: 64, HotP99: 0, MaxReplicas: 0}
+}
+
+// Validate reports the first nonsensical field.
+func (c ManagerConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("cluster: manager window %d must be positive", c.Window)
+	}
+	if c.ColdReads >= c.HotReads {
+		return fmt.Errorf("cluster: cold threshold %d must be below hot threshold %d", c.ColdReads, c.HotReads)
+	}
+	return nil
+}
+
+// CommandKind is a manager decision type.
+type CommandKind int
+
+const (
+	// AddReplica grows the shard's replica set by one node.
+	AddReplica CommandKind = iota
+	// DropReplica shrinks it by one non-primary node.
+	DropReplica
+)
+
+func (k CommandKind) String() string {
+	if k == AddReplica {
+		return "add-replica"
+	}
+	return "drop-replica"
+}
+
+// Command is one replica-set change the manager wants applied at a
+// window boundary.
+type Command struct {
+	Kind  CommandKind
+	Shard int
+}
+
+// Manager is the DynamicCache-style control loop, reduced to its
+// deterministic core: a stateless policy over per-shard windowed load
+// samples. Hot read-heavy shards gain replicas (reads rendezvous-pick
+// one replica, so R replicas serve ~R× the read throughput); shards
+// that cool off drop back, freeing the memory those replicas pinned.
+// Writes always go to every replica, so replication never changes
+// observable contents — only where reads land.
+//
+// Decide is a pure function of the window samples, which is the whole
+// point: the samples are journaled (probe.WriteShardWindows), and
+// replaying a journal through the same config reproduces the decision
+// stream bit-for-bit.
+type Manager struct {
+	cfg ManagerConfig
+}
+
+// NewManager validates cfg and builds a manager.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// Config returns the manager's policy.
+func (m *Manager) Config() ManagerConfig { return m.cfg }
+
+// Decide maps one window's shard samples to replica commands. ws must
+// be in ascending shard order (the router emits it that way); the
+// output command order follows the input order, so the decision stream
+// is deterministic. nodes is the cluster size — the hard replica cap.
+func (m *Manager) Decide(ws []probe.ShardWindow, nodes int) []Command {
+	maxRep := nodes
+	if m.cfg.MaxReplicas > 0 && m.cfg.MaxReplicas < maxRep {
+		maxRep = m.cfg.MaxReplicas
+	}
+	var cmds []Command
+	for _, w := range ws {
+		switch {
+		case w.Reads >= m.cfg.HotReads &&
+			(m.cfg.HotP99 == 0 || w.P99Cost >= m.cfg.HotP99) &&
+			w.Replicas < maxRep:
+			cmds = append(cmds, Command{Kind: AddReplica, Shard: w.Shard})
+		case w.Reads <= m.cfg.ColdReads && w.Replicas > 1:
+			cmds = append(cmds, Command{Kind: DropReplica, Shard: w.Shard})
+		}
+	}
+	return cmds
+}

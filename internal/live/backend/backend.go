@@ -1,0 +1,148 @@
+// Package backend provides real backing stores behind the live
+// cache's read-allocate Loader hook, beside the synthetic
+// loadgen.Loader: an in-memory map store and a file-backed store.
+//
+// Both are deterministic (no wall clock, no randomness, no map-order
+// effects) and safe for concurrent use, and both follow the look-aside
+// discipline the memcache architecture prescribes: the application
+// writes the store first, then updates or invalidates the cache, so a
+// cache miss always refills with the latest committed value. The
+// cluster tests use exactly that to prove read-your-write across
+// replica churn — a freshly added replica starts cold and must refill
+// through one of these stores.
+package backend
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"rwp/internal/live"
+)
+
+// Map is an in-memory key-value store. The zero value is not usable;
+// call NewMap.
+type Map struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMap returns an empty store.
+func NewMap() *Map { return &Map{m: make(map[string][]byte)} }
+
+// Put stores a copy of val under key.
+func (s *Map) Put(key string, val []byte) {
+	v := append([]byte(nil), val...)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Get returns a copy of key's value, or nil when absent.
+func (s *Map) Get(key string) []byte {
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// Delete removes key.
+func (s *Map) Delete(key string) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored keys.
+func (s *Map) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Loader adapts the store to the cache's read-allocate hook: a Get
+// miss refills with the store's current value (nil when the key is
+// absent — the cache then reports a plain miss).
+func (s *Map) Loader() live.Loader { return s.Get }
+
+// File is a file-backed store: one file per key under a directory.
+// Writes are atomic (write to a temp file, then rename), so a
+// concurrent Loader read sees either the old or the new value, never a
+// torn one. No lock is held across filesystem calls: each writer uses
+// a unique temp name, and rename/remove are atomic on their own.
+type File struct {
+	dir string
+	seq atomic.Uint64 // distinct temp names for concurrent writers
+}
+
+// maxFileKey bounds the key length the file store accepts: the hex
+// file name must stay under common 255-byte filename limits.
+const maxFileKey = 120
+
+// NewFile opens (creating if needed) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &File{dir: dir}, nil
+}
+
+// path maps a key to its file. Keys are hex-encoded so any byte
+// sequence — separators, dots, NULs — yields a flat, collision-free
+// file name; the encoding is total and injective, so distinct keys
+// never share a file.
+func (s *File) path(key string) (string, error) {
+	if len(key) > maxFileKey {
+		return "", fmt.Errorf("backend: key length %d exceeds file-store max %d", len(key), maxFileKey)
+	}
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(key))+".v"), nil
+}
+
+// Put stores val under key.
+func (s *File) Put(key string, val []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", p, s.seq.Add(1))
+	if err := os.WriteFile(tmp, val, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get returns key's value, or nil when absent. Unexpected filesystem
+// errors are also reported as absent — the Loader contract has no
+// error channel — so Put is the only place store health surfaces.
+func (s *File) Get(key string) []byte {
+	p, err := s.path(key)
+	if err != nil {
+		return nil
+	}
+	v, err := os.ReadFile(p)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (s *File) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Loader adapts the store to the cache's read-allocate hook.
+func (s *File) Loader() live.Loader { return s.Get }

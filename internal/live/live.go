@@ -210,24 +210,74 @@ func New(cfg Config) (*Cache, error) {
 			sh.rec = probe.NewRecorder(0)
 		}
 		for i := range sh.sets {
-			ls := &sh.sets[i]
-			ls.entries = make([]entry, cfg.Ways)
-			switch cfg.Policy {
-			case "rwp":
-				p := core.New(cfg.RWP)
-				if sh.rec != nil {
-					p.SetProbe(sh.rec)
-				}
-				ls.rwp = p
-				ls.pol = p
-			default: // "lru", by Validate
-				ls.pol = policy.NewLRU()
-			}
-			ls.pol.Attach(ls)
+			initSet(&sh.sets[i], cfg, sh.rec)
 		}
 		c.shards[si] = sh
 	}
 	return c, nil
+}
+
+// initSet (re)builds one set to its freshly-constructed state: empty
+// entries, zero occupancy, a brand-new policy instance wired to rec.
+// The entries backing array is reused when already allocated. The
+// operation counters are deliberately left untouched — they are
+// cumulative history, and ResetRange must not un-count work that
+// happened.
+func initSet(ls *lset, cfg Config, rec *probe.Recorder) {
+	if ls.entries == nil {
+		ls.entries = make([]entry, cfg.Ways)
+	} else {
+		for w := range ls.entries {
+			ls.entries[w] = entry{}
+		}
+	}
+	ls.validCount, ls.dirtyCount = 0, 0
+	ls.rwp = nil
+	switch cfg.Policy {
+	case "rwp":
+		p := core.New(cfg.RWP)
+		if rec != nil {
+			p.SetProbe(rec)
+		}
+		ls.rwp = p
+		ls.pol = p
+	default: // "lru", by Validate
+		ls.pol = policy.NewLRU()
+	}
+	ls.pol.Attach(ls)
+}
+
+// ResetRange drops every resident entry in the global sets [lo, hi)
+// and rebuilds each set's replacement policy from scratch, returning
+// the number of entries purged. Operation counters are preserved (they
+// are cumulative history); occupancy and policy state (RWP predictor
+// histograms, dirty targets, LRU stacks) restart cold, exactly as at
+// construction.
+//
+// The cluster layer calls it when a shard replica is (re)added to a
+// node: a node that served the shard before and was dropped may hold
+// values that missed writes issued in between, so the replica must
+// start cold and refill through its Loader — the read-your-write rule
+// for replica churn. It panics if the range is out of bounds.
+func (c *Cache) ResetRange(lo, hi int) (purged int) {
+	if lo < 0 || hi > c.cfg.Sets || lo > hi {
+		panic("live: ResetRange out of bounds")
+	}
+	for si, sh := range c.shards {
+		base := si * c.perShard
+		if base+c.perShard <= lo || base >= hi {
+			continue
+		}
+		sh.mu.Lock()
+		for i := range sh.sets {
+			if g := base + i; g >= lo && g < hi {
+				purged += sh.sets[i].validCount
+				initSet(&sh.sets[i], c.cfg, sh.rec)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return purged
 }
 
 // Config returns the cache's configuration.

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+func hotCfg() HotspotConfig {
+	return HotspotConfig{
+		HotKeys: 8, ColdKeys: 4096,
+		HotFrac: 0.9, WriteFrac: 0.1,
+		ValueSize: 32, Seed: 42,
+	}
+}
+
+// TestHotspotDeterministic pins the stream contract: equal configs
+// yield bit-identical op streams.
+func TestHotspotDeterministic(t *testing.T) {
+	a, err := NewHotspot(hotCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHotspot(hotCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Put != y.Put || x.Key != y.Key || string(x.Value) != string(y.Value) {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+// TestHotspotSkew checks the stream has the advertised shape: the hot
+// population dominates, rank 0 is the hottest key, and the write
+// fraction is near the configured rate.
+func TestHotspotSkew(t *testing.T) {
+	h, err := NewHotspot(hotCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	hits := make(map[string]int)
+	hot, writes := 0, 0
+	for i := 0; i < n; i++ {
+		op := h.Next()
+		hits[op.Key]++
+		if len(op.Key) >= 4 && op.Key[:4] == "hot:" {
+			hot++
+		}
+		if op.Put {
+			writes++
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction %.3f, want ~0.9", frac)
+	}
+	if frac := float64(writes) / n; frac < 0.07 || frac > 0.13 {
+		t.Errorf("write fraction %.3f, want ~0.1", frac)
+	}
+	top := HotKey(0)
+	for i := 1; i < 8; i++ {
+		if hits[HotKey(i)] > hits[top] {
+			t.Errorf("hot rank %d (%d hits) beats rank 0 (%d hits)", i, hits[HotKey(i)], hits[top])
+		}
+	}
+}
+
+// TestHotspotValuesMatchLoader pins that Put payloads equal what the
+// synthetic Loader would refill — the property the cluster differential
+// tests rely on when replicas refill after a reset.
+func TestHotspotValuesMatchLoader(t *testing.T) {
+	h, err := NewHotspot(hotCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := Loader(32)
+	for i := 0; i < 1000; i++ {
+		op := h.Next()
+		if !op.Put {
+			continue
+		}
+		if want := load(op.Key); string(op.Value) != string(want) {
+			t.Fatalf("Put value for %q differs from Loader value", op.Key)
+		}
+	}
+}
+
+// TestHotspotHotNames pins the name-override path: ranks map onto the
+// provided names (rank 0 hottest) and the stream is otherwise shaped
+// exactly like the default-named one.
+func TestHotspotHotNames(t *testing.T) {
+	cfg := hotCfg()
+	cfg.HotKeys = 0 // derived from HotNames
+	cfg.HotNames = []string{"shard7:a", "shard7:b", "shard7:c"}
+	h, err := NewHotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		op := h.Next()
+		hits[op.Key]++
+		if len(op.Key) >= 4 && op.Key[:4] == "hot:" {
+			t.Fatalf("op %d used default hot name %q despite HotNames", i, op.Key)
+		}
+	}
+	if hits["shard7:a"] == 0 || hits["shard7:b"] == 0 || hits["shard7:c"] == 0 {
+		t.Fatalf("some hot names never drawn: %v", hits)
+	}
+	if hits["shard7:a"] < hits["shard7:b"] || hits["shard7:b"] < hits["shard7:c"] {
+		t.Errorf("zipf rank order not reflected in hot name frequencies: %v", hits)
+	}
+}
+
+func TestHotspotConfigValidation(t *testing.T) {
+	bad := []HotspotConfig{
+		{HotKeys: 0, ColdKeys: 1},
+		{HotKeys: 1, ColdKeys: 0},
+		{HotKeys: 1, ColdKeys: 1, HotFrac: 1.5},
+		{HotKeys: 1, ColdKeys: 1, WriteFrac: -0.1},
+		{HotKeys: 1, ColdKeys: 1, ZipfS: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewHotspot(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -2,8 +2,15 @@ package proto
 
 import (
 	"bufio"
+	"errors"
 	"io"
 )
+
+// ErrClosed is returned by every Client method after Close. It is a
+// typed sentinel (match with errors.Is) so multi-connection callers —
+// the cluster router keeps one Client per node — can tell an
+// orderly-shutdown race from a wire failure.
+var ErrClosed = errors.New("proto: client closed")
 
 // Client speaks the binary protocol over one connection (any
 // io.ReadWriter: a net.Conn in production, a net.Pipe or loopback
@@ -21,18 +28,48 @@ import (
 // Both modes preserve request order end to end, which is what lets the
 // differential tests demand byte-identical stats at any depth.
 type Client struct {
+	conn    io.ReadWriter
 	bw      *bufio.Writer
 	r       *Reader
-	pending []Op // ops queued since the last Flush, in order
-	queued  int  // request bytes framed since the last Flush
+	pending []Op  // ops queued since the last Flush, in order
+	queued  int   // request bytes framed since the last Flush
+	err     error // first write failure; poisons the client (see Flush)
+	closed  bool
 }
 
 // NewClient wraps conn.
 func NewClient(conn io.ReadWriter) *Client {
 	return &Client{
-		bw: bufio.NewWriterSize(conn, 64<<10),
-		r:  NewReader(bufio.NewReaderSize(conn, 64<<10)),
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		r:    NewReader(bufio.NewReaderSize(conn, 64<<10)),
 	}
+}
+
+// Close marks the client unusable — every later call returns ErrClosed
+// — and closes the underlying connection when it is an io.Closer.
+// Closing twice is a no-op returning ErrClosed.
+func (c *Client) Close() error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// check gates every operation on the client's liveness: ErrClosed
+// after Close, else the sticky first write error. A client that saw a
+// write fail mid-queue holds frames it could not finish framing, so
+// letting a later Flush write-and-read would report a confusing
+// downstream read error (or hang) instead of the root cause.
+func (c *Client) check() error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.err
 }
 
 // Reply is one response in Flush order. Exactly the fields implied by
@@ -46,10 +83,17 @@ type Reply struct {
 	Data     []byte      // OpStats (JSON document) / OpPing (echo)
 }
 
-// queue frames one request.
+// queue frames one request. A write failure (the buffered writer only
+// hits the connection when a burst overflows its buffer) is recorded
+// as the client's sticky error so Flush reports it instead of a
+// downstream read error.
 func (c *Client) queue(op Op, payload []byte) error {
+	if err := c.check(); err != nil {
+		return err
+	}
 	frame := AppendFrame(nil, op, payload)
 	if _, err := c.bw.Write(frame); err != nil {
+		c.err = err
 		return err
 	}
 	c.pending = append(c.pending, op)
@@ -119,7 +163,14 @@ func (c *Client) QueuedBytes() int { return c.queued }
 // Flush in the tens of KiB — split deeper pipelines across multiple
 // Flushes.
 func (c *Client) Flush() ([]Reply, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
 	if err := c.bw.Flush(); err != nil {
+		// The write side is broken: report the write error now (and on
+		// every later call) rather than letting the reply reads surface
+		// a later, less diagnostic read error.
+		c.err = err
 		return nil, err
 	}
 	want := c.pending
@@ -129,13 +180,13 @@ func (c *Client) Flush() ([]Reply, error) {
 	for _, sent := range want {
 		op, payload, err := c.r.ReadFrame()
 		if err != nil {
-			return replies, err
+			return replies, c.fail(err)
 		}
 		if op == OpErr {
-			return replies, wireErrf(ErrPayload, "server error: %s", payload)
+			return replies, c.fail(wireErrf(ErrPayload, "server error: %s", payload))
 		}
 		if op != sent {
-			return replies, wireErrf(ErrOp, "reply op %v for %v request", op, sent)
+			return replies, c.fail(wireErrf(ErrOp, "reply op %v for %v request", op, sent))
 		}
 		rep := Reply{Op: op}
 		switch op {
@@ -151,11 +202,21 @@ func (c *Client) Flush() ([]Reply, error) {
 			rep.Data = cloneBytes(payload)
 		}
 		if err != nil {
-			return replies, err
+			return replies, c.fail(err)
 		}
 		replies = append(replies, rep)
 	}
 	return replies, nil
+}
+
+// fail records the first fatal error as the client's sticky error —
+// once the reply stream is out of sync with the request stream the
+// connection is unusable, and every later call reports the root cause.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
 }
 
 // flushOne runs a single queued request synchronously.

@@ -61,6 +61,38 @@ type Stats struct {
 	TargetHist []uint64
 }
 
+// Add accumulates o into s field by field. Every component is an
+// order-independent sum (TargetHist adds element-wise; a nil histogram
+// on either side is treated as all-zero), so merging per-range or
+// per-node snapshots in any order yields the same aggregate — the
+// property the cluster layer's merged stats document rests on.
+func (s *Stats) Add(o Stats) {
+	s.Counters.add(o.Counters)
+	s.Entries += o.Entries
+	s.DirtyEntries += o.DirtyEntries
+	s.Retargets += o.Retargets
+	if o.TargetHist != nil {
+		if s.TargetHist == nil {
+			s.TargetHist = make([]uint64, len(o.TargetHist))
+		}
+		for d := range o.TargetHist {
+			s.TargetHist[d] += o.TargetHist[d]
+		}
+	}
+}
+
+// addSet accumulates one set's counters and policy state into s.
+// Called with the set's shard lock held.
+func (s *Stats) addSet(ls *lset) {
+	s.Counters.add(ls.ops)
+	s.Entries += ls.validCount
+	s.DirtyEntries += ls.dirtyCount
+	if ls.rwp != nil {
+		s.Retargets += ls.rwp.Intervals()
+		s.TargetHist[ls.rwp.TargetDirty()]++
+	}
+}
+
 // Stats aggregates the per-set counters and policy state. It locks one
 // shard at a time, so under concurrent load the aggregate is a
 // consistent sum of per-set snapshots, not a global atomic snapshot.
@@ -72,13 +104,38 @@ func (c *Cache) Stats() Stats {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for i := range sh.sets {
-			ls := &sh.sets[i]
-			s.Counters.add(ls.ops)
-			s.Entries += ls.validCount
-			s.DirtyEntries += ls.dirtyCount
-			if ls.rwp != nil {
-				s.Retargets += ls.rwp.Intervals()
-				s.TargetHist[ls.rwp.TargetDirty()]++
+			s.addSet(&sh.sets[i])
+		}
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// StatsRange aggregates exactly the global sets in [lo, hi). The
+// cluster layer assigns each ring shard a contiguous set range, so a
+// node's contribution to the merged cluster stats is the sum of
+// StatsRange over the shards it serves; summing every shard's range
+// over its serving node covers each set exactly once, which makes the
+// merged Stats of a replication-factor-1 cluster equal the single-node
+// Stats field for field (untouched sets contribute identically on
+// both sides). It panics if the range is out of bounds.
+func (c *Cache) StatsRange(lo, hi int) Stats {
+	if lo < 0 || hi > c.cfg.Sets || lo > hi {
+		panic("live: StatsRange out of bounds")
+	}
+	var s Stats
+	if c.cfg.Policy == "rwp" {
+		s.TargetHist = make([]uint64, c.cfg.Ways+1)
+	}
+	for si, sh := range c.shards {
+		base := si * c.perShard
+		if base+c.perShard <= lo || base >= hi {
+			continue
+		}
+		sh.mu.Lock()
+		for i := range sh.sets {
+			if g := base + i; g >= lo && g < hi {
+				s.addSet(&sh.sets[i])
 			}
 		}
 		sh.mu.Unlock()

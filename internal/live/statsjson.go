@@ -1,0 +1,91 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+
+	"rwp/internal/probe"
+)
+
+// StatsPayload is the stats JSON document every transport serves: the
+// HTTP /stats body, the binary protocol's STATS frame, and rwpserve's
+// -selftest output all render exactly this struct through
+// WritePayload, which is what makes them byte-comparable. The cluster
+// layer (internal/cluster) renders its merged view through the same
+// struct, so a replication-factor-1 cluster run over a stream produces
+// the same bytes as a single-node run.
+//
+// Every field is an order-independent aggregate, so the payload is
+// shard-count invariant for a deterministic operation stream. Note:
+// the lock-shard count is deliberately absent — it is a lock layout
+// detail, and keeping it out lets the determinism smokes compare
+// payloads across shard counts byte for byte.
+type StatsPayload struct {
+	Policy   string     `json:"policy"`
+	Sets     int        `json:"sets"`
+	Ways     int        `json:"ways"`
+	Capacity int        `json:"capacity"`
+	Stats    Stats      `json:"stats"`
+	Probe    *ProbeView `json:"probe,omitempty"`
+}
+
+// ProbeView is the merged probe-recorder section of the payload.
+type ProbeView struct {
+	Load       probe.ClassCounters `json:"load"`
+	Store      probe.ClassCounters `json:"store"`
+	EvictClean uint64              `json:"evictClean"`
+	EvictDirty uint64              `json:"evictDirty"`
+}
+
+// NewProbeView extracts the payload's probe section from a merged
+// recorder; nil in, nil out (the section is omitted).
+func NewProbeView(r *probe.Recorder) *ProbeView {
+	if r == nil {
+		return nil
+	}
+	return &ProbeView{
+		Load:       r.Classes[probe.Load],
+		Store:      r.Classes[probe.Store],
+		EvictClean: r.EvictClean,
+		EvictDirty: r.EvictDirty,
+	}
+}
+
+// Snapshot assembles the cache's stats document.
+func (c *Cache) Snapshot() StatsPayload {
+	return StatsPayload{
+		Policy:   c.cfg.Policy,
+		Sets:     c.cfg.Sets,
+		Ways:     c.cfg.Ways,
+		Capacity: c.Capacity(),
+		Stats:    c.Stats(),
+		Probe:    NewProbeView(c.ProbeStats()),
+	}
+}
+
+// WritePayload renders p as the canonical indented JSON document.
+func WritePayload(w io.Writer, p StatsPayload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// StatsJSON renders the cache's stats document — the exact bytes of
+// the HTTP /stats body (it satisfies proto.Backend's StatsJSON).
+func (c *Cache) StatsJSON() ([]byte, error) {
+	var buf jsonBuffer
+	if err := WritePayload(&buf, c.Snapshot()); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// jsonBuffer is a minimal bytes.Buffer stand-in (avoids importing
+// bytes for one Write sink).
+type jsonBuffer struct{ b []byte }
+
+// Write implements io.Writer.
+func (j *jsonBuffer) Write(p []byte) (int, error) {
+	j.b = append(j.b, p...)
+	return len(p), nil
+}

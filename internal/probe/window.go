@@ -1,0 +1,143 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WindowSchema versions the cluster shard-window journal. Windows are
+// keyed by operation count — never wall clock — so a journal is a pure
+// function of the routed stream and the shard-manager's decisions can
+// be reproduced bit-identically from it (internal/cluster pins that
+// with a replay test).
+const WindowSchema = "rwp-cluster-windows-v1"
+
+// ShardWindow is one ring shard's load sample over one op-count
+// window, as observed by the cluster router: op-rate split by class,
+// the p99 of the deterministic per-op service costs (queue-depth
+// proxy, see internal/cluster), and the shard's replica count at the
+// window boundary. The shard manager consumes exactly these records —
+// nothing else — which is what makes its decisions replayable.
+type ShardWindow struct {
+	// Window is the 0-based window index (window boundaries fall every
+	// WindowOps routed operations).
+	Window int
+	// Shard is the ring shard index.
+	Shard int
+	// Reads and Writes count the shard's routed operations in the
+	// window (a write to R replicas counts once — it is one stream op).
+	Reads  uint64
+	Writes uint64
+	// P99Cost is the 99th percentile of the shard's read service costs
+	// in the window (0 when the shard saw no reads).
+	P99Cost int
+	// Replicas is the shard's replica count at the window's end, before
+	// the manager acts on this window.
+	Replicas int
+}
+
+// windowHeader identifies a shard-window journal.
+type windowHeader struct {
+	T         string `json:"t"` // "header"
+	Schema    string `json:"schema"`
+	Desc      string `json:"desc"`
+	WindowOps int    `json:"window_ops"`
+}
+
+// windowRecord is the JSONL form of one ShardWindow.
+type windowRecord struct {
+	T        string `json:"t"` // "window"
+	Window   int    `json:"window"`
+	Shard    int    `json:"shard"`
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	P99Cost  int    `json:"p99_cost"`
+	Replicas int    `json:"replicas"`
+}
+
+// WriteShardWindows serializes a cluster run's shard-window log as
+// canonical JSONL (sorted keys, fixed record order), the same
+// discipline as the run journals: two logs of the same run are
+// byte-identical. desc labels the run; windowOps is the op-count
+// window width.
+func WriteShardWindows(w io.Writer, desc string, windowOps int, ws []ShardWindow) error {
+	bw := bufio.NewWriter(w)
+	emit := func(v any) error {
+		line, err := canonicalLine(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := emit(windowHeader{T: "header", Schema: WindowSchema, Desc: desc, WindowOps: windowOps}); err != nil {
+		return err
+	}
+	for _, s := range ws {
+		if err := emit(windowRecord{
+			T: "window", Window: s.Window, Shard: s.Shard,
+			Reads: s.Reads, Writes: s.Writes,
+			P99Cost: s.P99Cost, Replicas: s.Replicas,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadShardWindows decodes a shard-window journal, rejecting unknown
+// schemas and record types — like the run journals, it is versioned
+// data, not a log to be skimmed.
+func ReadShardWindows(r io.Reader) (desc string, windowOps int, ws []ShardWindow, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var disc struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			return "", 0, nil, fmt.Errorf("probe: windows line %d: %w", lineNo, err)
+		}
+		switch disc.T {
+		case "header":
+			var h windowHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return "", 0, nil, fmt.Errorf("probe: windows line %d: %w", lineNo, err)
+			}
+			if h.Schema != WindowSchema {
+				return "", 0, nil, fmt.Errorf("probe: windows schema %q, want %q", h.Schema, WindowSchema)
+			}
+			desc, windowOps, sawHeader = h.Desc, h.WindowOps, true
+		case "window":
+			var rec windowRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return "", 0, nil, fmt.Errorf("probe: windows line %d: %w", lineNo, err)
+			}
+			ws = append(ws, ShardWindow{
+				Window: rec.Window, Shard: rec.Shard,
+				Reads: rec.Reads, Writes: rec.Writes,
+				P99Cost: rec.P99Cost, Replicas: rec.Replicas,
+			})
+		default:
+			return "", 0, nil, fmt.Errorf("probe: windows line %d: unknown record type %q", lineNo, disc.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", 0, nil, fmt.Errorf("probe: reading windows: %w", err)
+	}
+	if !sawHeader {
+		return "", 0, nil, fmt.Errorf("probe: windows journal has no header")
+	}
+	return desc, windowOps, ws, nil
+}

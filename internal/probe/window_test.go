@@ -1,0 +1,71 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleWindows() []ShardWindow {
+	return []ShardWindow{
+		{Window: 0, Shard: 0, Reads: 900, Writes: 100, P99Cost: 37, Replicas: 1},
+		{Window: 0, Shard: 1, Reads: 12, Writes: 3, P99Cost: 2, Replicas: 1},
+		{Window: 1, Shard: 0, Reads: 850, Writes: 150, P99Cost: 31, Replicas: 2},
+		{Window: 1, Shard: 1, Reads: 0, Writes: 0, P99Cost: 0, Replicas: 1},
+	}
+}
+
+func TestShardWindowsRoundTrip(t *testing.T) {
+	in := sampleWindows()
+	var buf bytes.Buffer
+	if err := WriteShardWindows(&buf, "hotspot nodes=3", 1024, in); err != nil {
+		t.Fatal(err)
+	}
+	desc, ops, out, err := ReadShardWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc != "hotspot nodes=3" || ops != 1024 {
+		t.Fatalf("header round-trip: desc %q window_ops %d", desc, ops)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d windows, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("window %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestShardWindowsCanonicalBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteShardWindows(&a, "run", 512, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardWindows(&b, "run", 512, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two serializations of the same windows differ")
+	}
+	// Canonical form: sorted object keys on every line.
+	first, _, _ := strings.Cut(a.String(), "\n")
+	if !strings.HasPrefix(first, `{"desc":`) {
+		t.Fatalf("header line not canonical: %s", first)
+	}
+}
+
+func TestShardWindowsRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no header":      `{"t":"window","window":0,"shard":0,"reads":1,"writes":0,"p99_cost":1,"replicas":1}`,
+		"unknown type":   `{"schema":"rwp-cluster-windows-v1","t":"header","window_ops":8,"desc":""}` + "\n" + `{"t":"mystery"}`,
+		"wrong schema":   `{"schema":"rwp-journal-v1","t":"header","window_ops":8,"desc":""}`,
+		"malformed json": `{"t":"header"`,
+	}
+	for name, in := range cases {
+		if _, _, _, err := ReadShardWindows(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# bench_cluster.sh — run the deterministic cluster bench (cmd/rwpcluster
+# -bench): one node vs three static nodes vs three nodes under the
+# shard-manager replication loop, on a hot-shard stream (all hot keys on
+# one ring shard). Writes results/cluster_bench.txt so regressions show
+# up in review diffs.
+#
+# The gated numbers are deterministic models clocked by op counts, not
+# wall time: modeled read throughput (reads per busiest-node load unit)
+# and the late-window p99 service cost. Wall-ms is printed for
+# orientation only.
+#
+# Usage: scripts/bench_cluster.sh [ops]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ops=${1:-120000}
+out=results/cluster_bench.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rwpcluster" ./cmd/rwpcluster
+
+echo ">> rwpcluster -bench (single vs static vs managed)"
+{
+    echo "# cluster bench (cmd/rwpcluster -bench): replication vs static partitioning"
+    echo "# model-xput and late-p99 are deterministic; wall-ms varies by host and is ungated"
+    "$work/rwpcluster" -bench -bench-ops "$ops"
+} | tee "$out"
+
+# The acceptance bar: the managed cluster must model at least the
+# static cluster's read throughput AND no worse a late-window p99 —
+# replicating the hot shard has to pay for itself.
+awk -F'[= ]+' '/^gate:/ {
+        seen = 1
+        if ($6 + 0 < $4 + 0) bad = 1        # managed model < static model
+        if ($11 + 0 > $9 + 0) bad = 1       # managed late-p99 > static late-p99
+    }
+    END { exit (bad || !seen) }' "$out" || {
+    echo 'bench_cluster.sh: FAIL: managed leg below static (model-xput or late-p99), or no gate line' >&2
+    exit 1
+}

@@ -116,4 +116,49 @@ cmp "$smoke/live1.json" "$smoke/livetcp.json" || {
     exit 1
 }
 
+# Cluster smoke: the 3-node merged stats document must be bit-identical
+# across runs, across ring-shard counts (the ring only moves whole set
+# ranges between nodes), AND to the single-node rwpserve run above at
+# the same geometry/profile/seed — the cluster is a partitioning of the
+# single-node run, not an approximation. $smoke/live1.json is the
+# rwpserve baseline produced by the live smoke.
+echo '>> cluster smoke: rwpcluster -selftest merges to the single-node bytes'
+go run ./cmd/rwpcluster -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -ring-shards 16 >"$smoke/cluster1.json"
+go run ./cmd/rwpcluster -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -ring-shards 16 >"$smoke/cluster2.json"
+cmp "$smoke/cluster1.json" "$smoke/cluster2.json" || {
+    echo 'check.sh: FAIL: rwpcluster -selftest differs between identical runs' >&2
+    exit 1
+}
+go run ./cmd/rwpcluster -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -ring-shards 64 -mode pipe >"$smoke/cluster64.json"
+cmp "$smoke/cluster1.json" "$smoke/cluster64.json" || {
+    echo 'check.sh: FAIL: rwpcluster -selftest differs across -ring-shards/-mode' >&2
+    exit 1
+}
+cmp "$smoke/live1.json" "$smoke/cluster1.json" || {
+    echo 'check.sh: FAIL: cluster merged stats differ from single-node rwpserve' >&2
+    exit 1
+}
+
+# Managed cluster smoke: with the replication control loop on, the run
+# (merged stats + shard-window journal) must still be bit-identical
+# across reruns — the manager is op-count clocked, not wall clocked.
+echo '>> cluster smoke: managed run is deterministic'
+go run ./cmd/rwpcluster -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -ring-shards 16 -manager -window 1024 -hot 128 -cold 16 \
+    -windows-out "$smoke/win1.jsonl" >"$smoke/managed1.json"
+go run ./cmd/rwpcluster -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -ring-shards 16 -manager -window 1024 -hot 128 -cold 16 \
+    -windows-out "$smoke/win2.jsonl" >"$smoke/managed2.json"
+cmp "$smoke/managed1.json" "$smoke/managed2.json" || {
+    echo 'check.sh: FAIL: managed rwpcluster stats differ between identical runs' >&2
+    exit 1
+}
+cmp "$smoke/win1.jsonl" "$smoke/win2.jsonl" || {
+    echo 'check.sh: FAIL: managed shard-window journals differ between identical runs' >&2
+    exit 1
+}
+
 echo 'check.sh: all gates passed'
