@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster
+.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster bench-replay
 
 build:
 	go build ./...
@@ -62,3 +62,10 @@ bench-proto:
 # fails if the managed leg models below the static leg.
 bench-cluster:
 	scripts/bench_cluster.sh
+
+# Replay one recorded request journal through every transport (direct,
+# HTTP, binary protocol, 3-node cluster), timing each leg; records
+# results/replay_bench.txt and fails if any leg's stats are not
+# byte-identical to the recorded run.
+bench-replay:
+	scripts/bench_replay.sh

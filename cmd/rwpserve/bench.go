@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
 	"rwp/internal/stats"
 )
@@ -41,16 +42,16 @@ func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure,
 			if err != nil {
 				return err
 			}
-			tgt, err := newTarget(transport, c, batch, depth)
+			tgt, err := drive.New(transport, c, batch, depth)
 			if err != nil {
 				return err
 			}
-			if err := tgt.replay(g.Batch(warmup)); err != nil {
+			if err := tgt.Replay(g.Batch(warmup)); err != nil {
 				tgt.Close()
 				return err
 			}
 			c.ResetStats()
-			if err := tgt.replay(g.Batch(measure)); err != nil {
+			if err := tgt.Replay(g.Batch(measure)); err != nil {
 				tgt.Close()
 				return err
 			}

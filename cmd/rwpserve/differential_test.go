@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
 	"rwp/internal/live/proto"
 )
@@ -40,15 +41,15 @@ func replayThrough(t *testing.T, transport string, batch, depth, n int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := newTarget(transport, diffCache(t), batch, depth)
+	tgt, err := drive.New(transport, diffCache(t), batch, depth)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tgt.Close()
-	if err := tgt.replay(g.Batch(n)); err != nil {
+	if err := tgt.Replay(g.Batch(n)); err != nil {
 		t.Fatalf("%s replay: %v", transport, err)
 	}
-	data, err := tgt.statsJSON()
+	data, err := tgt.StatsJSON()
 	if err != nil {
 		t.Fatalf("%s stats: %v", transport, err)
 	}
@@ -62,8 +63,10 @@ func replayThrough(t *testing.T, transport string, batch, depth, n int) []byte {
 func TestTransportEquivalence(t *testing.T) {
 	const n = 5000
 	base := replayThrough(t, "direct", 0, 0, n)
-	if !strings.Contains(string(base), "\"Retargets\"") {
-		t.Fatalf("baseline stats look wrong:\n%s", base)
+	for _, want := range []string{"\"Retargets\"", "\"RetargetUp\"", "\"RetargetDown\"", "\"RetargetSame\"", "\"CostHist\""} {
+		if !strings.Contains(string(base), want) {
+			t.Fatalf("baseline stats missing %s:\n%s", want, base)
+		}
 	}
 	for _, tc := range []struct {
 		transport    string
@@ -223,7 +226,7 @@ func TestTCPServerLogsBadPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	var errb syncBuf
-	tsrv := newTCPServer(ln, backend{diffCache(t)}, &errb)
+	tsrv := newTCPServer(ln, diffCache(t), &errb)
 	go tsrv.serve()
 	defer tsrv.shutdownNow()
 
@@ -267,7 +270,7 @@ func TestShutdownClosesIdleConns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tsrv := newTCPServer(ln, backend{diffCache(t)}, io.Discard)
+	tsrv := newTCPServer(ln, diffCache(t), io.Discard)
 	go tsrv.serve()
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -331,7 +334,7 @@ func (noDeadlineConn) SetReadDeadline(time.Time) error { return nil }
 // reports the deadline error.
 func TestShutdownForcesStragglers(t *testing.T) {
 	ln := newFakeListener()
-	tsrv := newTCPServer(ln, backend{diffCache(t)}, io.Discard)
+	tsrv := newTCPServer(ln, diffCache(t), io.Discard)
 	go tsrv.serve()
 
 	client, server := net.Pipe()

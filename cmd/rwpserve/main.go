@@ -7,6 +7,9 @@
 //	                                 protocol (internal/live/proto)
 //	rwpserve -selftest 20000         run a seeded loadgen burst through
 //	                                 -transport, print /stats JSON, exit
+//	rwpserve -record reqs.jsonl ...  additionally journal every request
+//	                                 (schema rwp-reqlog-v1; replay with
+//	                                 cmd/rwpreplay)
 //	rwpserve -bench                  RWP vs LRU read-hit-rate bench
 //	                                 over workload profiles, exit
 //	rwpserve -proto-bench            binary vs HTTP throughput/latency
@@ -39,7 +42,9 @@ import (
 	"syscall"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
+	"rwp/internal/probe"
 	"rwp/internal/workload"
 )
 
@@ -63,7 +68,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	interval := fs.Uint64("interval", 0, "RWP repartition interval in per-set ops (0: default)")
 	valueSize := fs.Int("value-size", 0, "synthetic value size in bytes (0: default)")
 	noLoader := fs.Bool("no-loader", false, "disable the synthetic backing store (Get misses return 404)")
-	record := fs.Bool("record", true, "attach probe recorders (probe section of /stats)")
+	probeOn := fs.Bool("probe", true, "attach probe recorders (probe section of /stats)")
+	recordPath := fs.String("record", "", "journal every request to this file (schema rwp-reqlog-v1)")
 	selftest := fs.Int("selftest", 0, "run N loadgen ops through -transport, print /stats JSON, exit")
 	profile := fs.String("profile", "mcf", "workload profile for -selftest and -proto-bench")
 	seed := fs.Uint64("seed", 0, "loadgen seed offset for -selftest and -proto-bench")
@@ -83,7 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rwpserve: unexpected arguments %q\n", fs.Args())
 		return 2
 	}
-	tr, err := parseTransport(*transport)
+	tr, err := drive.ParseTransport(*transport)
 	if err != nil {
 		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 		return 2
@@ -92,12 +98,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := live.DefaultConfig()
 	cfg.Sets, cfg.Ways, cfg.Shards = *sets, *ways, *shards
 	cfg.Policy = *policyName
-	cfg.Record = *record
+	cfg.Record = *probeOn
 	if *interval > 0 {
 		cfg.RWP.Interval = *interval
 	}
 	if !*noLoader {
 		cfg.Loader = loadgen.Loader(*valueSize)
+	}
+
+	if *recordPath != "" && (*bench || *protoBench) {
+		fmt.Fprintln(stderr, "rwpserve: -record needs -selftest or serve mode (benches build private caches)")
+		return 2
 	}
 
 	if *bench {
@@ -120,6 +131,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var closeLog func() error
+	if *recordPath != "" {
+		// The description deliberately omits the shard count (a lock
+		// layout detail) so journals are byte-identical across -shards.
+		desc := fmt.Sprintf("rwpserve policy=%s sets=%d ways=%d", cfg.Policy, cfg.Sets, cfg.Ways)
+		log, cl, err := openReqLog(*recordPath, desc)
+		if err != nil {
+			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+			return 2
+		}
+		cfg.ReqLog = log
+		closeLog = cl
+	}
+
 	c, err := live.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
@@ -127,18 +152,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *selftest > 0 {
-		if err := runSelftest(stdout, c, tr, *profile, *seed, *valueSize, *selftest, *batch, *pipeline); err != nil {
+		err := runSelftest(stdout, c, tr, *profile, *seed, *valueSize, *selftest, *batch, *pipeline)
+		if err == nil && closeLog != nil {
+			err = closeLog()
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	if err := serve(ctx, *addr, *tcpAddr, c, stdout, stderr); err != nil {
+	err = serve(ctx, *addr, *tcpAddr, c, stdout, stderr)
+	if closeLog != nil {
+		if cerr := closeLog(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// openReqLog creates the request journal at path and returns the
+// writer plus a close func that flushes, closes the file, and surfaces
+// any sticky write error.
+func openReqLog(path, desc string) (*probe.ReqLogWriter, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := probe.NewReqLogWriter(f, desc)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, func() error {
+		werr := w.Close()
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}, nil
 }
 
 // runSelftest drives n single-goroutine loadgen ops against c through
@@ -151,15 +208,15 @@ func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uin
 	if err != nil {
 		return err
 	}
-	tgt, err := newTarget(transport, c, batch, depth)
+	tgt, err := drive.New(transport, c, batch, depth)
 	if err != nil {
 		return err
 	}
 	defer tgt.Close()
-	if err := tgt.replay(g.Batch(n)); err != nil {
+	if err := tgt.Replay(g.Batch(n)); err != nil {
 		return err
 	}
-	data, err := tgt.statsJSON()
+	data, err := tgt.StatsJSON()
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
 	"rwp/internal/live/proto"
 )
@@ -133,17 +134,16 @@ func reportAllocs(w io.Writer, base live.Config, valSize, batch, depth int) erro
 	if err != nil {
 		return err
 	}
-	tgt, err := newTarget("tcp", srv, batch, depth)
+	tt, err := drive.NewTCP(srv, batch, depth)
 	if err != nil {
 		return err
 	}
-	defer tgt.Close()
-	tt := tgt.(*tcpTarget)
-	if _, err := tt.cli.Put("bench:hot", val); err != nil {
+	defer tt.Close()
+	if _, err := tt.Client().Put("bench:hot", val); err != nil {
 		return err
 	}
 	e2e := testing.AllocsPerRun(200, func() {
-		res, err := tt.cli.Get("bench:hot")
+		res, err := tt.Client().Get("bench:hot")
 		if err != nil || res.Status != proto.StatusHit {
 			panic(fmt.Sprintf("protobench: tcp get = (%v, %v)", res.Status, err))
 		}
@@ -161,18 +161,17 @@ func benchHTTP(base live.Config, stream []loadgen.Op) (transportLeg, error) {
 	if err != nil {
 		return transportLeg{}, err
 	}
-	tgt, err := newTarget("http", c, 0, 0)
+	ht, err := drive.NewHTTP(c)
 	if err != nil {
 		return transportLeg{}, err
 	}
-	defer tgt.Close()
-	ht := tgt.(*httpTarget)
+	defer ht.Close()
 
 	lat := make([]time.Duration, 0, len(stream))
 	start := time.Now()
 	for i := range stream {
 		t0 := time.Now()
-		if err := ht.do(&stream[i]); err != nil {
+		if err := ht.Do(&stream[i]); err != nil {
 			return transportLeg{}, err
 		}
 		lat = append(lat, time.Since(t0))
@@ -187,31 +186,30 @@ func benchTCP(base live.Config, stream []loadgen.Op, batch, depth int) (transpor
 	if err != nil {
 		return transportLeg{}, err
 	}
-	tgt, err := newTarget("tcp", c, batch, depth)
+	tt, err := drive.NewTCP(c, batch, depth)
 	if err != nil {
 		return transportLeg{}, err
 	}
-	defer tgt.Close()
-	tt := tgt.(*tcpTarget)
+	defer tt.Close()
 
 	runs := loadgen.Runs(stream, batch)
 	var lat []time.Duration
 	start := time.Now()
 	for _, run := range runs {
-		if err := tt.queueRun(run); err != nil {
+		if err := tt.QueueRun(run); err != nil {
 			return transportLeg{}, err
 		}
-		if tt.cli.Depth() >= depth {
+		if tt.Client().Depth() >= depth {
 			t0 := time.Now()
-			if _, err := tt.cli.Flush(); err != nil {
+			if _, err := tt.Client().Flush(); err != nil {
 				return transportLeg{}, err
 			}
 			lat = append(lat, time.Since(t0))
 		}
 	}
-	if tt.cli.Depth() > 0 {
+	if tt.Client().Depth() > 0 {
 		t0 := time.Now()
-		if _, err := tt.cli.Flush(); err != nil {
+		if _, err := tt.Client().Flush(); err != nil {
 			return transportLeg{}, err
 		}
 		lat = append(lat, time.Since(t0))

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
 )
 
@@ -30,7 +31,7 @@ func testCache(t *testing.T, loader bool) *live.Cache {
 }
 
 func TestHandlerPutGetStats(t *testing.T) {
-	srv := httptest.NewServer(newHandler(testCache(t, false)))
+	srv := httptest.NewServer(drive.Handler(testCache(t, false)))
 	defer srv.Close()
 
 	// Miss without a loader: 404.
@@ -95,7 +96,7 @@ func TestHandlerPutGetStats(t *testing.T) {
 }
 
 func TestHandlerLoaderFill(t *testing.T) {
-	srv := httptest.NewServer(newHandler(testCache(t, true)))
+	srv := httptest.NewServer(drive.Handler(testCache(t, true)))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/get?key=zz")
 	if err != nil {
@@ -121,7 +122,7 @@ func TestHandlerLoaderFill(t *testing.T) {
 }
 
 func TestHandlerErrors(t *testing.T) {
-	srv := httptest.NewServer(newHandler(testCache(t, false)))
+	srv := httptest.NewServer(drive.Handler(testCache(t, false)))
 	defer srv.Close()
 	for _, tc := range []struct {
 		method, path string

@@ -12,80 +12,14 @@ import (
 	"time"
 
 	"rwp/internal/live"
+	"rwp/internal/live/drive"
 	"rwp/internal/live/proto"
 )
 
-// writeStatsJSON renders the /stats payload (also the -selftest output
-// and the binary protocol's STATS document — one renderer for every
-// transport, which is what makes them byte-comparable). The payload
-// struct and encoder live in internal/live (StatsPayload) so that the
-// cluster layer can render its merged view through the same bytes.
-func writeStatsJSON(w io.Writer, c *live.Cache) error {
-	return live.WritePayload(w, c.Snapshot())
-}
-
-// backend adapts *live.Cache to proto.Backend: Get/Put pass through,
-// StatsJSON renders the exact /stats HTTP body.
-type backend struct {
-	*live.Cache
-}
-
-// newHandler wires the cache's HTTP surface.
-func newHandler(c *live.Cache) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
-		key := r.URL.Query().Get("key")
-		if key == "" {
-			http.Error(w, "missing key parameter", http.StatusBadRequest)
-			return
-		}
-		v, hit := c.Get(key)
-		switch {
-		case hit:
-			w.Header().Set("X-Cache", "hit")
-		case v != nil:
-			w.Header().Set("X-Cache", "fill") // loader backfill
-		default:
-			w.Header().Set("X-Cache", "miss")
-			http.Error(w, "key not found", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(v)
-	})
-	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPut && r.Method != http.MethodPost {
-			http.Error(w, "use PUT or POST", http.StatusMethodNotAllowed)
-			return
-		}
-		key := r.URL.Query().Get("key")
-		if key == "" {
-			http.Error(w, "missing key parameter", http.StatusBadRequest)
-			return
-		}
-		val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-		if err != nil {
-			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if c.Put(key, val) {
-			w.Header().Set("X-Cache", "insert")
-		} else {
-			w.Header().Set("X-Cache", "overwrite")
-		}
-		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := writeStatsJSON(w, c); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	return mux
-}
-
 // tcpServer accepts binary-protocol connections and serves each with
-// proto.ServeConn until Shutdown.
+// proto.ServeConn until Shutdown. *live.Cache satisfies proto.Backend
+// directly — Get/Put pass through and StatsJSON renders the exact
+// /stats HTTP body, which is what makes the transports byte-comparable.
 type tcpServer struct {
 	ln     net.Listener
 	b      proto.Backend
@@ -186,6 +120,26 @@ func (s *tcpServer) shutdown(ctx context.Context) error {
 	}
 }
 
+// shutdownNow drains with an already-expired deadline: close listener
+// and connections immediately (test/bench teardown, nothing to drain
+// gracefully).
+func (s *tcpServer) shutdownNow() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		// Teardown hard-close; the lock only guards the conns map, and
+		// Close on a TCP conn does not block.
+		//rwplint:allow lockheld — teardown hard-close; nothing else contends for s.mu anymore
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
 // shutdownTimeout bounds the graceful drain of both servers.
 const shutdownTimeout = 5 * time.Second
 
@@ -212,11 +166,11 @@ func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout,
 			return err
 		}
 		fmt.Fprintf(stdout, "rwpserve: binary protocol listening on tcp://%s\n", tln.Addr())
-		tsrv = newTCPServer(tln, backend{c}, stderr)
+		tsrv = newTCPServer(tln, c, stderr)
 		go func() { errc <- tsrv.serve() }()
 	}
 
-	srv := &http.Server{Handler: newHandler(c)}
+	srv := &http.Server{Handler: drive.Handler(c)}
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {

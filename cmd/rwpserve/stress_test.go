@@ -38,7 +38,7 @@ func TestStressConcurrentTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tsrv := newTCPServer(ln, backend{c}, io.Discard)
+	tsrv := newTCPServer(ln, c, io.Discard)
 	go tsrv.serve()
 	defer tsrv.shutdownNow()
 

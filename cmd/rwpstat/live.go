@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rwp/internal/live"
+	"rwp/internal/probe"
+)
+
+// runLive polls a running rwpserve's /stats endpoint and prints one
+// line of interval deltas per poll: operation counts, the interval's
+// read hit rate, the retarget-decision direction split, and the exact
+// p99 service cost of just that interval (the cumulative histograms
+// are bucket-wise subtractable, so the interval percentile is exact,
+// not an average of averages).
+//
+// Polling cadence is wall clock (this is cmd/; the server itself stays
+// op-count clocked). If the server restarts or its stats are reset
+// between polls, the counters run backwards; the poller detects that,
+// prints a reset marker, and re-baselines.
+func runLive(w io.Writer, url string, every time.Duration, polls int, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/stats") {
+		url += "/stats"
+	}
+
+	fmt.Fprintf(w, "%-6s %10s %10s %8s %22s %9s %9s %8s\n",
+		"poll", "gets", "puts", "rd-hit", "retargets(+/-/=)", "p99-cost", "entries", "dirty")
+
+	var prev live.StatsPayload
+	have := false
+	for n := 0; polls <= 0 || n < polls; n++ {
+		if n > 0 {
+			time.Sleep(every)
+		}
+		cur, err := fetchStats(client, url)
+		if err != nil {
+			return err
+		}
+		if have && cur.Stats.Gets+cur.Stats.Puts < prev.Stats.Gets+prev.Stats.Puts {
+			fmt.Fprintf(w, "%-6s stats went backwards (server restart or reset); re-baselining\n", "--")
+			have = false
+		}
+		if !have {
+			prev = cur
+			have = true
+			fmt.Fprintf(w, "%-6d %10s %10s %8s %22s %9s %9d %8d  (baseline: %d ops total)\n",
+				n, "-", "-", "-", "-", "-", cur.Stats.Entries, cur.Stats.DirtyEntries,
+				cur.Stats.Gets+cur.Stats.Puts)
+			continue
+		}
+		d := cur.Stats
+		dGets := d.Gets - prev.Stats.Gets
+		dHits := d.GetHits - prev.Stats.GetHits
+		dPuts := d.Puts - prev.Stats.Puts
+		rdHit := "-"
+		if dGets > 0 {
+			rdHit = fmt.Sprintf("%.1f%%", 100*float64(dHits)/float64(dGets))
+		}
+		retarg := fmt.Sprintf("+%d/-%d/=%d",
+			d.RetargetUp-prev.Stats.RetargetUp,
+			d.RetargetDown-prev.Stats.RetargetDown,
+			d.RetargetSame-prev.Stats.RetargetSame)
+		p99 := "-"
+		if dh, ok := costDelta(prev.Stats.CostHist, d.CostHist); ok && dh.N() > 0 {
+			p99 = fmt.Sprintf("%d", dh.Percentile(99))
+		}
+		fmt.Fprintf(w, "%-6d %10d %10d %8s %22s %9s %9d %8d\n",
+			n, dGets, dPuts, rdHit, retarg, p99, d.Entries, d.DirtyEntries)
+		prev = cur
+	}
+	return nil
+}
+
+// fetchStats downloads and decodes one stats document.
+func fetchStats(client *http.Client, url string) (live.StatsPayload, error) {
+	var p live.StatsPayload
+	resp, err := client.Get(url)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return p, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return p, nil
+}
+
+// costDelta is CostHist.Diff hardened for polling: a reset that slips
+// past the op-count check (counts re-accumulated above the old total
+// with different buckets) makes Diff panic, which for a poller is a
+// re-baseline, not a crash.
+func costDelta(prev, cur probe.CostHist) (d probe.CostHist, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return cur.Diff(prev), true
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/probe"
+)
+
+// statsSeq serves a fixed sequence of stats documents, one per
+// request, repeating the last — a deterministic stand-in for polling a
+// live server whose counters advance between polls.
+type statsSeq struct {
+	docs [][]byte
+	i    int
+}
+
+func (s *statsSeq) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	doc := s.docs[s.i]
+	if s.i < len(s.docs)-1 {
+		s.i++
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+// snapshots drives a real cache and captures its stats document before
+// and after a burst, so the poller sees genuine cumulative payloads.
+func snapshots(t *testing.T) (before, after []byte) {
+	t.Helper()
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = 128, 4, 4
+	cfg.RWP.Interval = 32
+	cfg.Record = true
+	cfg.Loader = loadgen.Loader(8)
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadgen.New("mcf", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadgen.ApplyAll(c, g.Batch(2000))
+	before, err = c.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadgen.ApplyAll(c, g.Batch(3000))
+	after, err = c.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return before, after
+}
+
+// TestLivePollerDeltas: the poller baselines on the first poll and
+// prints genuine interval deltas (ops, retarget split, interval p99)
+// on the second.
+func TestLivePollerDeltas(t *testing.T) {
+	before, after := snapshots(t)
+	srv := httptest.NewServer(&statsSeq{docs: [][]byte{before, after}})
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := runLive(&out, srv.URL, time.Millisecond, 2, srv.Client()); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"rd-hit", "retargets(+/-/=)", "p99-cost", "baseline"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("poller output missing %q:\n%s", want, got)
+		}
+	}
+	// The second poll's delta line must show the burst's ops and a
+	// well-formed retarget split.
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "+") || !strings.Contains(last, "/=") {
+		t.Errorf("delta line lacks the retarget split: %q", last)
+	}
+	if strings.Contains(last, "baseline") {
+		t.Errorf("second poll still printing baseline: %q", last)
+	}
+}
+
+// TestLivePollerRebaseline: counters running backwards (server restart
+// between polls) re-baseline instead of underflowing.
+func TestLivePollerRebaseline(t *testing.T) {
+	before, after := snapshots(t)
+	srv := httptest.NewServer(&statsSeq{docs: [][]byte{after, before, after}})
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := runLive(&out, srv.URL, time.Millisecond, 3, srv.Client()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "re-baselining") {
+		t.Errorf("backwards counters not detected:\n%s", out.String())
+	}
+}
+
+// TestLiveFlagSurface: -live rejects journal arguments and surfaces
+// connection failures.
+func TestLiveFlagSurface(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-live", "127.0.0.1:1", "-dir", t.TempDir()}, &out, &errb); code != 2 {
+		t.Errorf("-live with -dir: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-live", "127.0.0.1:1", "-polls", "1"}, &out, &errb); code != 1 {
+		t.Errorf("-live against a closed port: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestClusterCostColumns: node journals carrying a costs record render
+// rd-hit-rate and p99-cost; journals from before the costs record
+// render '-' in the p99 column.
+func TestClusterCostColumns(t *testing.T) {
+	dir := t.TempDir()
+	withCosts := filepath.Join(dir, "node-c.jsonl")
+	rec := probe.NewRecorder(0)
+	for i := 0; i < 9; i++ {
+		rec.CacheAccess(probe.AccessEvent{Level: "LLC", Class: probe.Load, Hit: true})
+		rec.Costs.Observe(1)
+	}
+	rec.CacheAccess(probe.AccessEvent{Level: "LLC", Class: probe.Store, Hit: false})
+	rec.Costs.Observe(16)
+	f, err := os.Create(withCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WriteJournal(f, probe.Header{Kind: "cluster-node", Desc: "node c"}, nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	old := filepath.Join(dir, "node-o.jsonl")
+	writeNodeJournal(t, old, "node o", 3)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-journal", withCosts, "-journal", old}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"rd-hit-rate", "p99-cost", "100.0%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cluster table missing %q:\n%s", want, got)
+		}
+	}
+	// node c: 10 observations, rank(99) = 10 → cost 16. node o has no
+	// costs record → '-'. The merged row unions the histograms, so it
+	// also reads 16.
+	nodeLine, oldLine, mergedLine := "", "", ""
+	for _, line := range strings.Split(got, "\n") {
+		switch {
+		case strings.Contains(line, "node c"):
+			nodeLine = line
+		case strings.Contains(line, "node o"):
+			oldLine = line
+		case strings.Contains(line, "merged") && !strings.Contains(line, "note:"):
+			mergedLine = line
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(nodeLine, " |"), "16") {
+		t.Errorf("node c p99 cell wrong: %q", nodeLine)
+	}
+	if !strings.HasSuffix(strings.TrimRight(oldLine, " |"), "-") {
+		t.Errorf("old journal p99 cell should be '-': %q", oldLine)
+	}
+	if !strings.HasSuffix(strings.TrimRight(mergedLine, " |"), "16") {
+		t.Errorf("merged p99 cell wrong: %q", mergedLine)
+	}
+}

@@ -16,6 +16,13 @@
 // order-independent: flag order never changes the output.
 //
 //	rwpstat -journal j/node-node0.jsonl -journal j/node-node1.jsonl
+//
+// With -live it instead polls a running rwpserve's /stats endpoint and
+// streams one line of interval deltas per poll (ops, read hit rate,
+// retarget direction split, exact interval p99 service cost):
+//
+//	rwpstat -live 127.0.0.1:8344 -every 2s
+//	rwpstat -live http://127.0.0.1:8344/stats -polls 10
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"time"
 
 	"rwp/internal/probe"
 	"rwp/internal/report"
@@ -41,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", "", "load every *.jsonl journal in this directory")
 	series := fs.Bool("series", false, "also render each journal's per-interval time series")
+	liveURL := fs.String("live", "", "poll a running rwpserve (host:port or /stats URL) and print interval deltas")
+	every := fs.Duration("every", time.Second, "polling cadence for -live")
+	polls := fs.Int("polls", 0, "number of polls for -live (0: poll until the connection fails)")
 	var clusterFiles []string
 	fs.Func("journal", "repeatable: cluster node journal for the merged cluster table", func(s string) error {
 		clusterFiles = append(clusterFiles, s)
@@ -48,6 +60,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *liveURL != "" {
+		if fs.NArg() > 0 || *dir != "" || len(clusterFiles) > 0 {
+			fmt.Fprintln(stderr, "rwpstat: -live does not combine with journal arguments")
+			return 2
+		}
+		if err := runLive(stdout, *liveURL, *every, *polls, nil); err != nil {
+			fmt.Fprintf(stderr, "rwpstat: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	paths, err := journalPaths(*dir, fs.Args())
 	if err != nil {
@@ -205,34 +228,47 @@ func renderCluster(w io.Writer, nodes []*namedJournal) error {
 	sort.Slice(sorted, func(i, k int) bool { return sorted[i].label < sorted[k].label })
 
 	t := report.New(fmt.Sprintf("cluster (merged over %d node journals)", len(sorted)),
-		"node", "accesses", "hits", "hit-rate", "hit-clean", "hit-dirty",
-		"bypasses", "evict-clean", "evict-dirty", "retargets")
-	var sum probe.ClassCounters
+		"node", "accesses", "hits", "hit-rate", "rd-hit-rate", "hit-clean", "hit-dirty",
+		"bypasses", "evict-clean", "evict-dirty", "retargets", "p99-cost")
+	var sum, sumLoad probe.ClassCounters
+	var sumCosts probe.CostHist
 	var evClean, evDirty uint64
 	var retargets int
-	row := func(label string, cc probe.ClassCounters, ec, ed uint64, rt int) {
-		rate := "-"
-		if cc.Accesses > 0 {
-			rate = fmt.Sprintf("%.1f%%", 100*float64(cc.Hits)/float64(cc.Accesses))
+	rate := func(hits, accesses uint64) string {
+		if accesses == 0 {
+			return "-"
 		}
-		t.AddRow(label, report.I(cc.Accesses), report.I(cc.Hits), rate,
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(accesses))
+	}
+	row := func(label string, cc, load probe.ClassCounters, costs probe.CostHist, ec, ed uint64, rt int) {
+		// Old journals carry no costs record: render '-' rather than a
+		// misleading 0.
+		p99 := "-"
+		if costs.N() > 0 {
+			p99 = report.I(costs.Percentile(99))
+		}
+		t.AddRow(label, report.I(cc.Accesses), report.I(cc.Hits),
+			rate(cc.Hits, cc.Accesses), rate(load.Hits, load.Accesses),
 			report.I(cc.HitsClean), report.I(cc.HitsDirty), report.I(cc.Bypasses),
-			report.I(ec), report.I(ed), report.I(rt))
+			report.I(ec), report.I(ed), report.I(rt), p99)
 	}
 	for _, nj := range sorted {
 		var cc probe.ClassCounters
 		for c := probe.Class(0); c < probe.NumClasses; c++ {
 			cc.Add(nj.j.Classes[c])
 		}
-		row(nj.label, cc, nj.j.EvictClean, nj.j.EvictDirty, len(nj.j.Retargets))
+		load := nj.j.Classes[probe.Load]
+		row(nj.label, cc, load, nj.j.Costs, nj.j.EvictClean, nj.j.EvictDirty, len(nj.j.Retargets))
 		sum.Add(cc)
+		sumLoad.Add(load)
+		sumCosts.Add(nj.j.Costs)
 		evClean += nj.j.EvictClean
 		evDirty += nj.j.EvictDirty
 		retargets += len(nj.j.Retargets)
 	}
 	t.AddRule()
-	row("merged", sum, evClean, evDirty, retargets)
-	t.Note = "rows sorted by journal label; merged row is the order-independent sum"
+	row("merged", sum, sumLoad, sumCosts, evClean, evDirty, retargets)
+	t.Note = "rows sorted by journal label; merged row is the order-independent sum; rd-hit-rate is the Load class alone"
 	return t.Render(w)
 }
 

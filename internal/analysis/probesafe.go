@@ -8,8 +8,9 @@ import (
 )
 
 // Probesafe enforces the probe layer's zero-overhead contract: under
-// internal/, every method call on a value of the Probe interface type
-// must be inside an `if x != nil { … }` guard for that same expression.
+// internal/, every method call on a value of a probe-family interface
+// type (a named interface ending in "Probe": Probe, ReqProbe) must be
+// inside an `if x != nil { … }` guard for that same expression.
 // An unguarded call either panics on the nil (disabled) probe or forces
 // the caller to construct event structs unconditionally — both defeat
 // the "nil probe costs one branch" guarantee documented in
@@ -117,7 +118,10 @@ func isNilIdent(e ast.Expr) bool {
 }
 
 // isProbeInterface reports whether the expression's type is a named
-// interface called "Probe" (any package: fixtures define their own).
+// interface whose name ends in "Probe" (any package: fixtures define
+// their own). The suffix match covers the whole probe family — Probe
+// for cache events, ReqProbe for the request-stream recorder — so new
+// capture hooks inherit the guard discipline without touching the rule.
 func isProbeInterface(pass *Pass, x ast.Expr) bool {
 	tv, ok := pass.Info.Types[x]
 	if !ok || tv.Type == nil {
@@ -134,5 +138,5 @@ func isProbeInterface(pass *Pass, x ast.Expr) bool {
 	if _, isIface := named.Underlying().(*types.Interface); !isIface {
 		return false
 	}
-	return named.Obj().Name() == "Probe"
+	return strings.HasSuffix(named.Obj().Name(), "Probe")
 }

@@ -100,6 +100,41 @@ func bad(p Probe) { p.Event(1) }
 	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe), "probesafe", 20)
 }
 
+// TestProbesafeFamilySuffix: the rule covers every interface named
+// *Probe — the request recorder's ReqProbe included — while leaving
+// unrelated interfaces (and names merely containing "Probe") alone.
+func TestProbesafeFamilySuffix(t *testing.T) {
+	src := probeFixture + `
+type ReqProbe interface {
+	ReqEvent(x int)
+}
+
+type ProbeLike interface {
+	Poke()
+}
+
+type logger struct {
+	reqs  ReqProbe
+	other ProbeLike
+}
+
+func (l *logger) bad() {
+	l.reqs.ReqEvent(1)
+}
+
+func (l *logger) good() {
+	if l.reqs != nil {
+		l.reqs.ReqEvent(2)
+	}
+	l.other.Poke()
+}
+`
+	// Line 34 is the unguarded l.reqs.ReqEvent(1); the guarded call and
+	// the ProbeLike call (suffix mismatch) are clean.
+	wantFindings(t, checkSrc(t, "rwp/internal/fix", src, Probesafe),
+		"probesafe", 34)
+}
+
 func TestProbesafeAllowDirective(t *testing.T) {
 	src := probeFixture + `
 func checked(p Probe) {

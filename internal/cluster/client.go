@@ -87,11 +87,11 @@ type Client struct {
 	// Current-window state, all op-count clocked.
 	window    int
 	opsInWin  int
-	reads     []uint64 // per shard
-	writes    []uint64 // per shard
-	digests   []*Digest
-	nodeLoad  []uint64 // per node: ops routed this window (cost proxy)
-	sinceFlsh int      // ops queued since the last flushAll
+	reads     []uint64         // per shard
+	writes    []uint64         // per shard
+	costs     []probe.CostHist // per shard: exact service-cost histograms
+	nodeLoad  []uint64         // per node: ops routed this window (cost proxy)
+	sinceFlsh int              // ops queued since the last flushAll
 
 	// Run log.
 	windows    []probe.ShardWindow
@@ -135,11 +135,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		pipeline:  cfg.Pipeline,
 		reads:     make([]uint64, cfg.Ring.Shards()),
 		writes:    make([]uint64, cfg.Ring.Shards()),
-		digests:   make([]*Digest, cfg.Ring.Shards()),
+		costs:     make([]probe.CostHist, cfg.Ring.Shards()),
 		nodeLoad:  make([]uint64, len(cfg.Conns)),
-	}
-	for s := range c.digests {
-		c.digests[s] = NewDigest()
 	}
 	return c, nil
 }
@@ -151,7 +148,7 @@ func (c *Client) Ring() *Ring { return c.ring }
 // accountRead records a read of shard s served by node n and returns
 // nothing; the service cost is the node's pre-increment in-window load.
 func (c *Client) accountRead(s, n int) {
-	c.digests[s].Add(int(c.nodeLoad[n]))
+	c.costs[s].Observe(int(c.nodeLoad[n]))
 	c.nodeLoad[n]++
 	c.reads[s]++
 	c.totalReads++
@@ -214,7 +211,7 @@ func (c *Client) closeWindow(decide bool) {
 		c.windows = append(c.windows, probe.ShardWindow{
 			Window: c.window, Shard: s,
 			Reads: c.reads[s], Writes: c.writes[s],
-			P99Cost:  c.digests[s].Percentile(99),
+			P99Cost:  c.costs[s].Percentile(99),
 			Replicas: c.ring.ReplicaCount(s),
 		})
 	}
@@ -225,7 +222,7 @@ func (c *Client) closeWindow(decide bool) {
 	}
 	for s := range c.reads {
 		c.reads[s], c.writes[s] = 0, 0
-		c.digests[s].Reset()
+		c.costs[s].Reset()
 	}
 	for n := range c.nodeLoad {
 		c.nodeLoad[n] = 0

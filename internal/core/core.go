@@ -100,6 +100,14 @@ type RWP struct {
 	accesses      uint64
 	intervals     uint64
 
+	// Retarget-decision direction counters: how often a repartitioning
+	// grew, shrank, or kept the dirty-partition target. Plain sums, so
+	// aggregating them across sets (internal/live's telemetry) is
+	// order-independent; intervals == up+down+same always.
+	retargetUp   uint64
+	retargetDown uint64
+	retargetSame uint64
+
 	// history records the target chosen at each interval boundary, for
 	// the partition-dynamics experiment (E8).
 	history []int
@@ -160,6 +168,13 @@ func (p *RWP) History() []int { return p.history }
 // Intervals returns how many repartitionings have happened.
 func (p *RWP) Intervals() uint64 { return p.intervals }
 
+// RetargetDirs returns the repartition-decision direction counts: how
+// many decisions raised, lowered, or kept the dirty-partition target.
+// The three always sum to Intervals().
+func (p *RWP) RetargetDirs() (up, down, same uint64) {
+	return p.retargetUp, p.retargetDown, p.retargetSame
+}
+
 // observe feeds the sampler and advances the interval clock. It runs on
 // every access (hit or miss) so sampler sets see the same stream the real
 // sets do.
@@ -176,7 +191,16 @@ func (p *RWP) observe(set int, ai cache.AccessInfo) {
 // repartition picks the dirty-partition size maximizing predicted read
 // hits and decays the histograms.
 func (p *RWP) repartition() {
+	prev := p.targetDirty
 	p.targetDirty = BestDirtyWays(p.cleanHist, p.dirtyHist)
+	switch {
+	case p.targetDirty > prev:
+		p.retargetUp++
+	case p.targetDirty < prev:
+		p.retargetDown++
+	default:
+		p.retargetSame++
+	}
 	p.intervals++
 	p.history = append(p.history, p.targetDirty)
 	if p.probe != nil {

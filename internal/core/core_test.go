@@ -127,6 +127,42 @@ func TestTargetWithinRangeAlways(t *testing.T) {
 	}
 }
 
+// TestRetargetDirsConserved: every repartitioning is classified as
+// exactly one of up/down/same, the counts agree with the recorded
+// history, and they sum to the interval count — the conservation law
+// the live telemetry's per-set aggregation relies on.
+func TestRetargetDirsConserved(t *testing.T) {
+	cfg := smallCfg()
+	c, p := newRWPCache(t, 8192, 4, cfg)
+	for i := 0; i < 50000; i++ {
+		c.Access(mem.LineAddr(i*31%4096), mem.Addr(i), cache.Class(i%3), 0)
+	}
+	up, down, same := p.RetargetDirs()
+	if up+down+same != p.Intervals() {
+		t.Fatalf("up %d + down %d + same %d != intervals %d", up, down, same, p.Intervals())
+	}
+	var wantUp, wantDown, wantSame uint64
+	prev := 4 / 2 // Attach's initial target: ways/2
+	for _, d := range p.History() {
+		switch {
+		case d > prev:
+			wantUp++
+		case d < prev:
+			wantDown++
+		default:
+			wantSame++
+		}
+		prev = d
+	}
+	if up != wantUp || down != wantDown || same != wantSame {
+		t.Fatalf("dirs (%d,%d,%d) disagree with history replay (%d,%d,%d)",
+			up, down, same, wantUp, wantDown, wantSame)
+	}
+	if p.Intervals() == 0 {
+		t.Fatal("no repartitionings happened — conservation check is vacuous")
+	}
+}
+
 func TestPartitionGrowsDirtyWhenDirtyServesReads(t *testing.T) {
 	// Workload: a producer-consumer ring — every line is written and then
 	// read back 64 writes later, so a written line must survive in the

@@ -77,7 +77,35 @@ type Config struct {
 	// Record attaches one probe.Recorder per shard; ProbeStats merges
 	// them. Off by default: the disabled path is a nil check per event.
 	Record bool
+	// ReqLog, when non-nil, receives one probe.ReqEvent per completed
+	// Get/Put — the request-stream recorder behind rwpserve -record.
+	// Events are emitted with no shard lock held, after the operation's
+	// outcome is decided; batch ops (MGET/MPUT) arrive decomposed into
+	// per-key events, which is what makes recorded journals
+	// transport-invariant. The sink must not retain event values.
+	ReqLog probe.ReqProbe
 }
+
+// Modeled per-operation service costs, in abstract backend-work units.
+// They are a pure function of the op's outcome and the victim's dirty
+// bit — set-level state — so cost streams are deterministic and
+// shard-count invariant, and they encode the paper's asymmetry: a read
+// miss pays a backing-store round trip, a write allocates locally, and
+// evicting a dirty line adds a writeback. RWP's larger read-hit rate
+// therefore shows up directly in the cost percentiles /stats reports.
+const (
+	// CostHit: served from a resident entry (Get hit or Put overwrite).
+	CostHit = 1
+	// CostMiss: a Get miss — the backing-store round trip, whether it
+	// returns a value (Loader fill) or not (404).
+	CostMiss = 16
+	// CostInsert: a Put installing a new entry (write-allocate; no
+	// backing-store read).
+	CostInsert = 2
+	// CostDirtyEvict: surcharge when the op's fill evicts a dirty
+	// entry, modeling the victim's writeback.
+	CostDirtyEvict = 4
+)
 
 // DefaultRWPConfig returns the per-set predictor configuration: the
 // set itself is the (only) sampler set, and the repartition interval
@@ -145,6 +173,12 @@ type lset struct {
 	validCount int
 	dirtyCount int
 	ops        Counters
+	// costs is the set's service-cost histogram (one observation per
+	// completed Get/Put). Per-set — not per-shard — so StatsRange can
+	// attribute costs to ring-shard set ranges and the cluster's merged
+	// document stays exact. Like ops, it is cumulative history:
+	// ResetRange preserves it, ResetStats clears it.
+	costs probe.CostHist
 }
 
 // NumSets implements cache.StateReader.
@@ -307,6 +341,7 @@ func (c *Cache) locate(h uint64) (*shard, *lset) {
 //rwplint:hotpath — the serving read path; every allocation here is a written-down decision
 func (c *Cache) Get(key string) (val []byte, hit bool) {
 	h := HashKey(key)
+	set := int(h & c.mask)
 	sh, ls := c.locate(h)
 	ai := cache.AccessInfo{Line: mem.LineAddr(h), Class: cache.DemandLoad}
 	sh.mu.Lock()
@@ -317,12 +352,14 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		if sh.rec != nil {
 			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: true, LineDirty: e.dirty})
 		}
+		ls.costs.Observe(CostHit)
 		ls.pol.OnHit(0, way, ai)
 		// Copy while the entry is stable, then release before returning:
 		// the caller must never see bytes a later Put could overwrite.
 		//rwplint:allow hotalloc — copy-out is the Get API contract (one alloc, pinned by TestGetHitAllocs)
 		v := append([]byte(nil), e.val...)
 		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeHit, CostHit)
 		return v, true
 	}
 	ls.ops.GetMisses++
@@ -330,7 +367,9 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: false})
 	}
 	if c.cfg.Loader == nil {
+		ls.costs.Observe(CostMiss)
 		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeMiss, CostMiss)
 		return nil, false
 	}
 	// The backing-store fetch runs outside the lock: a slow Loader
@@ -342,17 +381,41 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 	if ls.find(key) >= 0 {
 		// Lost the race: someone installed the key while we were
 		// loading. Keep the resident entry (it may hold a newer Put);
-		// return the value this miss actually fetched.
+		// return the value this miss actually fetched. The cost is the
+		// round trip alone — no fill, no eviction.
 		ls.ops.LoadRaces++
+		ls.costs.Observe(CostMiss)
 		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeFill, CostMiss)
 		return v, false
 	}
 	ls.ops.Loads++
-	ls.fill(sh, key, mem.LineAddr(h), v, ai, false)
+	cost := CostMiss
+	if ls.fill(sh, key, mem.LineAddr(h), v, ai, false) {
+		cost += CostDirtyEvict
+	}
+	ls.costs.Observe(cost)
 	sh.mu.Unlock()
+	c.logGet(key, set, probe.OutcomeFill, cost)
 	// No defensive copy on the way out: the Loader handed us a fresh
 	// value and fill stored its own copy, so the caller owns v.
 	return v, false
+}
+
+// logGet emits one Get capture event; a no-op without a recorder. It
+// runs with no shard lock held (the reqlog sink does its own I/O).
+func (c *Cache) logGet(key string, set int, outcome string, cost int) {
+	if c.cfg.ReqLog != nil {
+		c.cfg.ReqLog.ReqEvent(probe.ReqEvent{Key: key, Set: set, Outcome: outcome, Cost: cost})
+	}
+}
+
+// logPut is logGet's Put twin; val is the caller's payload (the sink
+// must not retain it).
+func (c *Cache) logPut(key string, val []byte, set int, outcome string, cost int) {
+	if c.cfg.ReqLog != nil {
+		c.cfg.ReqLog.ReqEvent(probe.ReqEvent{Put: true, Key: key, Value: val, Set: set, Outcome: outcome, Cost: cost})
+	}
 }
 
 // Put stores val under key: a dirty hit when resident (overwrite), a
@@ -360,10 +423,10 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 // was newly inserted.
 func (c *Cache) Put(key string, val []byte) (inserted bool) {
 	h := HashKey(key)
+	set := int(h & c.mask)
 	sh, ls := c.locate(h)
 	ai := cache.AccessInfo{Line: mem.LineAddr(h), Class: cache.DemandStore}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	ls.ops.Puts++
 	if way := ls.find(key); way >= 0 {
 		e := &ls.entries[way]
@@ -376,14 +439,23 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 			ls.dirtyCount++
 		}
 		e.val = append(e.val[:0], val...)
+		ls.costs.Observe(CostHit)
 		ls.pol.OnHit(0, way, ai)
+		sh.mu.Unlock()
+		c.logPut(key, val, set, probe.OutcomeOverwrite, CostHit)
 		return false
 	}
 	ls.ops.PutInserts++
 	if sh.rec != nil {
 		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Store, Hit: false})
 	}
-	ls.fill(sh, key, mem.LineAddr(h), val, ai, true)
+	cost := CostInsert
+	if ls.fill(sh, key, mem.LineAddr(h), val, ai, true) {
+		cost += CostDirtyEvict
+	}
+	ls.costs.Observe(cost)
+	sh.mu.Unlock()
+	c.logPut(key, val, set, probe.OutcomeInsert, cost)
 	return true
 }
 
@@ -392,8 +464,10 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 const LevelName = "live"
 
 // fill installs (key, val) into the set, evicting the policy's victim
-// if the set is full. Called with the shard lock held.
-func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai cache.AccessInfo, dirty bool) {
+// if the set is full. Called with the shard lock held. It reports
+// whether the fill evicted a dirty entry — the cost model's writeback
+// surcharge trigger.
+func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai cache.AccessInfo, dirty bool) (evictedDirty bool) {
 	way, bypass := ls.pol.Victim(0, ai)
 	if bypass {
 		// Neither LRU nor RWP ever bypasses; kept for policy-interface
@@ -402,12 +476,13 @@ func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai ca
 		if sh.rec != nil {
 			sh.rec.CacheBypass(probe.BypassEvent{Level: LevelName, Class: probe.Class(ai.Class)})
 		}
-		return
+		return false
 	}
 	e := &ls.entries[way]
 	if e.valid {
 		ls.ops.Evictions++
 		if e.dirty {
+			evictedDirty = true
 			ls.ops.DirtyEvictions++
 			ls.dirtyCount--
 		}
@@ -430,6 +505,7 @@ func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai ca
 		sh.rec.CacheFill(probe.FillEvent{Level: LevelName, Class: probe.Class(ai.Class), Dirty: dirty})
 	}
 	ls.pol.OnFill(0, way, ai)
+	return evictedDirty
 }
 
 // HashKey is the deterministic 64-bit key hash used for set selection

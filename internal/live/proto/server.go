@@ -9,10 +9,10 @@ import (
 )
 
 // Backend is what a connection serves: the live cache's operation
-// surface plus the rendered stats document. *live.Cache provides
-// Get/Put; cmd/rwpserve wraps it with the same JSON renderer the HTTP
-// /stats endpoint uses, which is what makes the transports
-// byte-comparable end to end.
+// surface plus the rendered stats document. *live.Cache satisfies it
+// directly — its StatsJSON is the same renderer the HTTP /stats
+// endpoint uses, which is what makes the transports byte-comparable
+// end to end.
 type Backend interface {
 	// Get looks up key. hit=false with val non-nil is a loader
 	// backfill (StatusFill), matching live.Cache.Get.

@@ -59,6 +59,17 @@ type Stats struct {
 	// TargetHist[d] counts the sets whose current dirty-partition
 	// target is d ways (nil for LRU).
 	TargetHist []uint64
+	// RetargetUp/Down/Same split Retargets by decision direction
+	// (raised, lowered, or kept the dirty target); their sum equals
+	// Retargets. Zero for LRU.
+	RetargetUp   uint64
+	RetargetDown uint64
+	RetargetSame uint64
+	// CostHist is the histogram of modeled per-op service costs (see
+	// the Cost* constants), exact and sparse. Bucket-wise merging is
+	// commutative, so it aggregates order-independently like every
+	// other field; percentiles come from probe.CostHist.Percentile.
+	CostHist probe.CostHist
 }
 
 // Add accumulates o into s field by field. Every component is an
@@ -79,6 +90,10 @@ func (s *Stats) Add(o Stats) {
 			s.TargetHist[d] += o.TargetHist[d]
 		}
 	}
+	s.RetargetUp += o.RetargetUp
+	s.RetargetDown += o.RetargetDown
+	s.RetargetSame += o.RetargetSame
+	s.CostHist.Add(o.CostHist)
 }
 
 // addSet accumulates one set's counters and policy state into s.
@@ -90,7 +105,12 @@ func (s *Stats) addSet(ls *lset) {
 	if ls.rwp != nil {
 		s.Retargets += ls.rwp.Intervals()
 		s.TargetHist[ls.rwp.TargetDirty()]++
+		up, down, same := ls.rwp.RetargetDirs()
+		s.RetargetUp += up
+		s.RetargetDown += down
+		s.RetargetSame += same
 	}
+	s.CostHist.Add(ls.costs)
 }
 
 // Stats aggregates the per-set counters and policy state. It locks one
@@ -160,6 +180,12 @@ func (c *Cache) ProbeStats() *probe.Recorder {
 		}
 		m.EvictClean += sh.rec.EvictClean
 		m.EvictDirty += sh.rec.EvictDirty
+		// Service costs live per set (so StatsRange can split them by
+		// ring shard); the merged recorder carries their union so node
+		// journals (cluster.WriteNodeJournals) get a costs record.
+		for i := range sh.sets {
+			m.Costs.Add(sh.sets[i].costs)
+		}
 		sh.mu.Unlock()
 	}
 	return m
@@ -173,6 +199,7 @@ func (c *Cache) ResetStats() {
 		sh.mu.Lock()
 		for i := range sh.sets {
 			sh.sets[i].ops = Counters{}
+			sh.sets[i].costs.Reset()
 		}
 		if sh.rec != nil {
 			rec := probe.NewRecorder(0)

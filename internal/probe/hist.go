@@ -1,0 +1,160 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CostHist is an exact sparse histogram of integer service costs: a
+// cost-sorted bucket list with one counter per distinct cost. Costs in
+// this module are deterministic models (queue-depth proxies in the
+// cluster router, the live cache's modeled backing-store costs), so
+// their value domain is tiny and an exact histogram is both cheap and
+// bit-reproducible — no sampling, no floating point, no approximation
+// to drift between runs.
+//
+// Every mutation keeps Buckets sorted by ascending Cost, which gives
+// the order-independent encoding the stats documents need: merging two
+// histograms bucket-by-bucket (Add) is commutative, and the JSON form
+// (MarshalJSON) is a [[cost,count],...] array in cost order — never a
+// JSON object, whose keys would sort lexicographically ("10" < "2")
+// and break the numeric order a reader expects.
+//
+// The zero value is an empty histogram, ready to use.
+type CostHist struct {
+	Buckets []CostBucket
+}
+
+// CostBucket is one (cost, count) pair.
+type CostBucket struct {
+	Cost  int
+	Count uint64
+}
+
+// Observe records one cost observation. Negative costs panic: every
+// cost model in this module produces values >= 0, so a negative cost
+// is a caller bug, not data.
+func (h *CostHist) Observe(cost int) { h.add(cost, 1) }
+
+// add merges count observations of cost, keeping Buckets sorted.
+func (h *CostHist) add(cost int, count uint64) {
+	if cost < 0 {
+		panic("probe: negative cost")
+	}
+	if count == 0 {
+		return
+	}
+	i := sort.Search(len(h.Buckets), func(i int) bool { return h.Buckets[i].Cost >= cost })
+	if i < len(h.Buckets) && h.Buckets[i].Cost == cost {
+		h.Buckets[i].Count += count
+		return
+	}
+	h.Buckets = append(h.Buckets, CostBucket{})
+	copy(h.Buckets[i+1:], h.Buckets[i:])
+	h.Buckets[i] = CostBucket{Cost: cost, Count: count}
+}
+
+// Add merges o into h bucket by bucket. Addition is commutative and
+// associative, so merging per-set, per-shard, or per-node histograms in
+// any order yields the same histogram — the property the cluster's
+// merged stats document rests on.
+func (h *CostHist) Add(o CostHist) {
+	for _, b := range o.Buckets {
+		h.add(b.Cost, b.Count)
+	}
+}
+
+// N returns the total observation count.
+func (h CostHist) N() uint64 {
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b.Count
+	}
+	return n
+}
+
+// Percentile returns the exact p-th percentile (1 <= p <= 100) by the
+// nearest-rank method: the smallest cost c such that at least
+// ceil(n*p/100) observations are <= c. An empty histogram returns 0.
+func (h CostHist) Percentile(p int) int {
+	if p < 1 || p > 100 {
+		panic("probe: percentile out of range")
+	}
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	rank := (n*uint64(p) + 99) / 100
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Cost
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Cost
+}
+
+// Diff returns h minus prev bucket-wise. It is the delta view a poller
+// wants between two cumulative snapshots of the same histogram; it
+// panics if prev is not a bucket-wise prefix-sum of h (a count would
+// have to run backwards, which cumulative histograms never do).
+func (h CostHist) Diff(prev CostHist) CostHist {
+	var out CostHist
+	i := 0
+	for _, b := range h.Buckets {
+		var prevCount uint64
+		if i < len(prev.Buckets) && prev.Buckets[i].Cost == b.Cost {
+			prevCount = prev.Buckets[i].Count
+			i++
+		}
+		if prevCount > b.Count {
+			panic("probe: CostHist.Diff against a non-prefix histogram")
+		}
+		if d := b.Count - prevCount; d > 0 {
+			out.add(b.Cost, d)
+		}
+	}
+	if i != len(prev.Buckets) {
+		// A bucket present earlier vanished later; cumulative counts
+		// never run backwards, so the snapshots are unrelated.
+		panic("probe: CostHist.Diff against a non-prefix histogram")
+	}
+	return out
+}
+
+// Reset empties the histogram, keeping the bucket capacity for reuse.
+func (h *CostHist) Reset() { h.Buckets = h.Buckets[:0] }
+
+// MarshalJSON encodes the histogram as [[cost,count],...] in ascending
+// cost order. An empty histogram encodes as [] (never null) so the
+// stats documents stay byte-identical whether the zero value was nil
+// or a reset slice.
+func (h CostHist) MarshalJSON() ([]byte, error) {
+	out := make([][2]uint64, len(h.Buckets))
+	for i, b := range h.Buckets {
+		out[i] = [2]uint64{uint64(b.Cost), b.Count}
+	}
+	if out == nil {
+		out = [][2]uint64{}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form, rejecting out-of-order
+// or duplicate costs — a histogram is canonical data, not a log.
+func (h *CostHist) UnmarshalJSON(data []byte) error {
+	var pairs [][2]uint64
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return err
+	}
+	h.Buckets = h.Buckets[:0]
+	for i, p := range pairs {
+		if i > 0 && int(p[0]) <= h.Buckets[len(h.Buckets)-1].Cost {
+			return fmt.Errorf("probe: cost histogram not in ascending cost order at %d", p[0])
+		}
+		h.Buckets = append(h.Buckets, CostBucket{Cost: int(p[0]), Count: p[1]})
+	}
+	return nil
+}

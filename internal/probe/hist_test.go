@@ -1,0 +1,221 @@
+package probe
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func histFrom(costs ...int) CostHist {
+	var h CostHist
+	for _, c := range costs {
+		h.Observe(c)
+	}
+	return h
+}
+
+func TestCostHistEmpty(t *testing.T) {
+	var h CostHist
+	if h.N() != 0 {
+		t.Fatalf("empty N = %d", h.N())
+	}
+	if got := h.Percentile(99); got != 0 {
+		t.Fatalf("empty p99 = %d, want 0", got)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Fatalf("empty histogram encodes as %s, want []", b)
+	}
+}
+
+func TestCostHistSingleObservation(t *testing.T) {
+	h := histFrom(7)
+	if h.N() != 1 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for _, p := range []int{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 7 {
+			t.Fatalf("p%d = %d, want 7", p, got)
+		}
+	}
+}
+
+func TestCostHistPercentiles(t *testing.T) {
+	var h CostHist
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(4)
+	}
+	h.Observe(16)
+	cases := map[int]int{1: 1, 50: 1, 90: 1, 91: 4, 99: 4, 100: 16}
+	for p, want := range cases {
+		if got := h.Percentile(p); got != want {
+			t.Errorf("p%d = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestCostHistMergeCommutative pins the property the cluster's merged
+// stats document and the shard-window journaling rest on: merging
+// histograms in any order — and in any grouping — yields identical
+// buckets.
+func TestCostHistMergeCommutative(t *testing.T) {
+	parts := []CostHist{
+		histFrom(1, 1, 16, 4, 1),
+		histFrom(20, 1),
+		{}, // an idle shard contributes an empty histogram
+		histFrom(4, 4, 4),
+	}
+	var fwd CostHist
+	for _, p := range parts {
+		fwd.Add(p)
+	}
+	var rev CostHist
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Add(parts[i])
+	}
+	var pairwise CostHist
+	var left, right CostHist
+	left.Add(parts[0])
+	left.Add(parts[3])
+	right.Add(parts[2])
+	right.Add(parts[1])
+	pairwise.Add(right)
+	pairwise.Add(left)
+	if !reflect.DeepEqual(fwd.Buckets, rev.Buckets) || !reflect.DeepEqual(fwd.Buckets, pairwise.Buckets) {
+		t.Fatalf("merge order changed the histogram:\nfwd  %+v\nrev  %+v\npair %+v", fwd.Buckets, rev.Buckets, pairwise.Buckets)
+	}
+	if fwd.N() != 10 {
+		t.Fatalf("merged N = %d, want 10", fwd.N())
+	}
+}
+
+func TestCostHistJSONRoundTrip(t *testing.T) {
+	h := histFrom(16, 1, 1, 4)
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[[1,2],[4,1],[16,1]]" {
+		t.Fatalf("encoded %s", b)
+	}
+	var back CostHist
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Buckets, back.Buckets) {
+		t.Fatalf("round trip: %+v vs %+v", h.Buckets, back.Buckets)
+	}
+	// Canonical data: out-of-order or duplicate costs are rejected.
+	for _, bad := range []string{"[[4,1],[1,2]]", "[[1,1],[1,2]]"} {
+		if err := json.Unmarshal([]byte(bad), &back); err == nil {
+			t.Errorf("%s decoded without error", bad)
+		}
+	}
+}
+
+func TestCostHistDiff(t *testing.T) {
+	prev := histFrom(1, 1, 4)
+	cur := histFrom(1, 1, 4)
+	cur.Observe(1)
+	cur.Observe(16)
+	d := cur.Diff(prev)
+	if !reflect.DeepEqual(d.Buckets, []CostBucket{{Cost: 1, Count: 1}, {Cost: 16, Count: 1}}) {
+		t.Fatalf("diff = %+v", d.Buckets)
+	}
+	if got := cur.Diff(cur).N(); got != 0 {
+		t.Fatalf("self-diff N = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diff against a non-prefix histogram did not panic")
+		}
+	}()
+	prev.Diff(cur) // counts would run backwards
+}
+
+func TestCostHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cost did not panic")
+		}
+	}()
+	var h CostHist
+	h.Observe(-1)
+}
+
+// TestCostHistNearestRankExact: with one observation of each cost
+// 1..100, pXX is exactly XX — the nearest-rank definition with no
+// interpolation. This coverage moved here when the cluster router's
+// Digest was folded into CostHist.
+func TestCostHistNearestRankExact(t *testing.T) {
+	var h CostHist
+	for i := 1; i <= 100; i++ {
+		h.Observe(i)
+	}
+	for _, p := range []int{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != p {
+			t.Errorf("p%d = %d, want %d", p, got, p)
+		}
+	}
+}
+
+// TestCostHistSkewedTail: a heavy tail below the p99 rank must not
+// drag the percentile up.
+func TestCostHistSkewedTail(t *testing.T) {
+	var h CostHist
+	for i := 0; i < 990; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	if got := h.Percentile(50); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	// rank(p99) = ceil(1000*99/100) = 990 → still the 1s.
+	if got := h.Percentile(99); got != 1 {
+		t.Errorf("p99 = %d, want 1", got)
+	}
+	if got := h.Percentile(100); got != 500 {
+		t.Errorf("p100 = %d, want 500", got)
+	}
+}
+
+// TestCostHistResetRefill: Reset clears observations but the histogram
+// remains usable.
+func TestCostHistResetRefill(t *testing.T) {
+	var h CostHist
+	h.Observe(7)
+	h.Reset()
+	if h.N() != 0 || h.Percentile(99) != 0 {
+		t.Fatalf("after Reset: N=%d p99=%d", h.N(), h.Percentile(99))
+	}
+	h.Observe(3)
+	if got := h.Percentile(99); got != 3 {
+		t.Fatalf("p99 after refill = %d, want 3", got)
+	}
+}
+
+// TestCostHistInsertOrderIrrelevant: percentiles depend only on the
+// multiset of observations, not arrival order.
+func TestCostHistInsertOrderIrrelevant(t *testing.T) {
+	var a, b CostHist
+	vals := []int{9, 1, 4, 4, 7, 2, 9, 9, 0, 3}
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	for p := 1; p <= 100; p++ {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%d differs across insert order", p)
+		}
+	}
+}

@@ -66,6 +66,12 @@ type Recorder struct {
 
 	// Intervals is the per-window time series in emission order.
 	Intervals []IntervalEvent
+
+	// Costs is the histogram of modeled per-op service costs, where a
+	// source provides them (the live cache observes one per Get/Put;
+	// the trace simulator leaves it empty). Merging histograms is
+	// commutative, so aggregated recorders stay order-independent.
+	Costs CostHist
 }
 
 // NewRecorder returns a Recorder sampling every window measured

@@ -1,0 +1,229 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ReqLogSchema versions the request-stream journal: the live cache's
+// capture of every Get/Put it served, one canonical JSONL line per
+// operation. Like the run journal it is op-count clocked — records are
+// numbered by a sequence counter, never timestamped — so recording the
+// same deterministic stream twice (or at a different lock-shard count)
+// yields byte-identical journals, and replaying one reproduces the
+// original run's stats byte for byte (cmd/rwpreplay closes that loop).
+const ReqLogSchema = "rwp-reqlog-v1"
+
+// Request outcomes, as the live cache classifies them. They mirror the
+// HTTP X-Cache header values: a Get is a hit, a fill (Loader
+// backfill), or a miss; a Put is an overwrite or an insert.
+const (
+	OutcomeHit       = "hit"
+	OutcomeFill      = "fill"
+	OutcomeMiss      = "miss"
+	OutcomeOverwrite = "overwrite"
+	OutcomeInsert    = "insert"
+)
+
+// ReqEvent is one observed cache operation: what was asked (op, key,
+// value), where it landed (the global set index — shard-layout
+// independent), and what happened (outcome plus the deterministic
+// modeled service cost). Value is the Put payload and nil for Gets; a
+// sink must not retain it past the call.
+type ReqEvent struct {
+	Put     bool
+	Key     string
+	Value   []byte
+	Set     int
+	Outcome string
+	Cost    int
+}
+
+// Class returns the paper's access class for the event ("load" for
+// Gets, "store" for Puts) — the same split the run journal's class
+// counters use.
+func (e ReqEvent) Class() Class {
+	if e.Put {
+		return Store
+	}
+	return Load
+}
+
+// ReqProbe consumes request events. Like Probe, call sites in
+// instrumented code must be nil-guarded (the probesafe lint enforces
+// the naming convention: any interface named *Probe is held to it).
+type ReqProbe interface {
+	ReqEvent(ev ReqEvent)
+}
+
+// reqHeader identifies a request journal.
+type reqHeader struct {
+	T      string `json:"t"` // "header"
+	Schema string `json:"schema"`
+	Desc   string `json:"desc"`
+}
+
+// reqRecord is the JSONL form of one ReqEvent. Class is redundant with
+// Op by construction; the reader cross-checks them, which catches
+// single-field corruption that still parses.
+type reqRecord struct {
+	T       string `json:"t"` // "req"
+	Seq     uint64 `json:"seq"`
+	Op      string `json:"op"`    // "get" | "put"
+	Class   string `json:"class"` // "load" | "store"
+	Key     string `json:"key"`
+	Set     int    `json:"set"`
+	Outcome string `json:"outcome"`
+	Cost    int    `json:"cost"`
+	Value   string `json:"value,omitempty"` // hex Put payload; absent for Gets
+}
+
+// ReqLogWriter streams request events to w as a canonical reqlog
+// journal. It is safe for concurrent use: a mutex orders the records
+// (concurrent serving interleaves nondeterministically, but every
+// journal it writes is well formed; single-goroutine runs — the
+// deterministic harnesses — journal in exact stream order). Errors are
+// sticky and surfaced by Close.
+type ReqLogWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	seq uint64
+	err error
+}
+
+// NewReqLogWriter writes the journal header to w and returns the
+// writer. The caller owns w and closes it after Close.
+func NewReqLogWriter(w io.Writer, desc string) (*ReqLogWriter, error) {
+	rw := &ReqLogWriter{bw: bufio.NewWriter(w)}
+	line, err := canonicalLine(reqHeader{T: "header", Schema: ReqLogSchema, Desc: desc})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rw.bw.Write(append(line, '\n')); err != nil {
+		return nil, err
+	}
+	return rw, nil
+}
+
+// ReqEvent implements ReqProbe: append one record.
+func (w *ReqLogWriter) ReqEvent(ev ReqEvent) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	rec := reqRecord{
+		T: "req", Seq: w.seq, Key: ev.Key, Set: ev.Set,
+		Outcome: ev.Outcome, Cost: ev.Cost,
+	}
+	if ev.Put {
+		rec.Op, rec.Class = "put", Store.String()
+		rec.Value = hex.EncodeToString(ev.Value)
+	} else {
+		rec.Op, rec.Class = "get", Load.String()
+	}
+	line, err := canonicalLine(rec)
+	if err != nil {
+		w.err = err
+		return
+	}
+	// The mutex exists to order record emission; the write belongs
+	// inside it or concurrent events would interleave bytes.
+	//rwplint:allow lockheld — the journal writer's lock is what serializes the I/O
+	if _, err := w.bw.Write(append(line, '\n')); err != nil {
+		w.err = err
+		return
+	}
+	w.seq++
+}
+
+// Close flushes the journal and returns the first error the writer
+// hit, if any. It does not close the underlying io.Writer.
+func (w *ReqLogWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	//rwplint:allow lockheld — final flush under the same ordering lock as every record write
+	return w.bw.Flush()
+}
+
+// Count returns the number of records written so far.
+func (w *ReqLogWriter) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// ReadReqLog decodes a request journal. It is strict the way every
+// journal reader here is — unknown schemas, unknown record types,
+// malformed lines, gaps in the sequence, and op/class disagreements
+// are all errors, because a journal is versioned data whose replay
+// must reproduce a run exactly or not at all.
+func ReadReqLog(r io.Reader) (desc string, evs []ReqEvent, err error) {
+	sc := bufio.NewScanner(r)
+	// Values can reach the transport's 1 MiB cap, which doubles in hex.
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var disc struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			return "", nil, fmt.Errorf("probe: reqlog line %d: %w", lineNo, err)
+		}
+		switch disc.T {
+		case "header":
+			var h reqHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return "", nil, fmt.Errorf("probe: reqlog line %d: %w", lineNo, err)
+			}
+			if h.Schema != ReqLogSchema {
+				return "", nil, fmt.Errorf("probe: reqlog schema %q, want %q", h.Schema, ReqLogSchema)
+			}
+			desc, sawHeader = h.Desc, true
+		case "req":
+			var rec reqRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return "", nil, fmt.Errorf("probe: reqlog line %d: %w", lineNo, err)
+			}
+			if rec.Seq != uint64(len(evs)) {
+				return "", nil, fmt.Errorf("probe: reqlog line %d: seq %d, want %d (journal truncated or reordered)", lineNo, rec.Seq, len(evs))
+			}
+			ev := ReqEvent{Key: rec.Key, Set: rec.Set, Outcome: rec.Outcome, Cost: rec.Cost}
+			switch {
+			case rec.Op == "get" && rec.Class == Load.String():
+			case rec.Op == "put" && rec.Class == Store.String():
+				ev.Put = true
+				v, err := hex.DecodeString(rec.Value)
+				if err != nil {
+					return "", nil, fmt.Errorf("probe: reqlog line %d: value: %w", lineNo, err)
+				}
+				ev.Value = v
+			default:
+				return "", nil, fmt.Errorf("probe: reqlog line %d: op %q / class %q disagree", lineNo, rec.Op, rec.Class)
+			}
+			evs = append(evs, ev)
+		default:
+			return "", nil, fmt.Errorf("probe: reqlog line %d: unknown record type %q", lineNo, disc.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, fmt.Errorf("probe: reading reqlog: %w", err)
+	}
+	if !sawHeader {
+		return "", nil, fmt.Errorf("probe: reqlog has no header")
+	}
+	return desc, evs, nil
+}

@@ -56,6 +56,80 @@ func TestShardWindowsCanonicalBytes(t *testing.T) {
 	}
 }
 
+// TestShardWindowsEmpty: a run that closes no windows journals just
+// the header, and the reader hands back the header fields with zero
+// windows — not an error (an empty window log is a valid run).
+func TestShardWindowsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteShardWindows(&buf, "idle", 256, nil); err != nil {
+		t.Fatal(err)
+	}
+	desc, ops, ws, err := ReadShardWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc != "idle" || ops != 256 || len(ws) != 0 {
+		t.Fatalf("empty journal round-trip: desc=%q ops=%d windows=%d", desc, ops, len(ws))
+	}
+}
+
+// TestShardWindowsSingleOp: the smallest non-trivial window — one read
+// on one shard — survives the round trip exactly, including the
+// degenerate p99 (a single observation is every percentile).
+func TestShardWindowsSingleOp(t *testing.T) {
+	var h CostHist
+	h.Observe(0) // the op's queue-depth cost: first op of the window
+	in := []ShardWindow{{Window: 0, Shard: 0, Reads: 1, Writes: 0, P99Cost: h.Percentile(99), Replicas: 1}}
+	var buf bytes.Buffer
+	if err := WriteShardWindows(&buf, "one-op", 1, in); err != nil {
+		t.Fatal(err)
+	}
+	_, _, out, err := ReadShardWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("single-op window round-trip: %+v", out)
+	}
+}
+
+// TestShardWindowsCorruptionDetected: truncating the journal
+// mid-record or flipping structural bytes must fail the decode — the
+// cluster's replay guarantees depend on never consuming a damaged
+// window log silently.
+func TestShardWindowsCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteShardWindows(&buf, "run", 512, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	// Mid-record truncations at several depths into the final line
+	// (cutting only the trailing newline leaves a complete record, so
+	// start at two bytes).
+	for _, cut := range []int{2, 5, 20} {
+		if _, _, _, err := ReadShardWindows(strings.NewReader(good[:len(good)-cut])); err == nil {
+			t.Errorf("truncation by %d bytes decoded without error", cut)
+		}
+	}
+
+	// Bit-flips that corrupt structure: the record discriminator, the
+	// schema string, and an object brace.
+	flips := map[string]string{
+		"record type":  strings.Replace(good, `"t":"window"`, `"t":"wind0w"`, 1),
+		"schema":       strings.Replace(good, WindowSchema, "rwp-cluster-windows-v2", 1),
+		"object brace": strings.Replace(good, `{"p99_cost"`, `["p99_cost"`, 1),
+	}
+	for name, bad := range flips {
+		if bad == good {
+			t.Fatalf("%s: corruption did not apply", name)
+		}
+		if _, _, _, err := ReadShardWindows(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s corruption decoded without error", name)
+		}
+	}
+}
+
 func TestShardWindowsRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"no header":      `{"t":"window","window":0,"shard":0,"reads":1,"writes":0,"p99_cost":1,"replicas":1}`,

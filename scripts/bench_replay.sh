@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench_replay.sh — measure journal replay throughput (cmd/rwpreplay)
+# per transport on one recorded request stream: record a deterministic
+# selftest burst, then replay it direct, over HTTP, over the binary
+# protocol, and through a 3-node cluster, timing each leg. Writes
+# results/replay_bench.txt so transport-cost drift shows up in review
+# diffs.
+#
+# The timings are wall clock and vary by host; the gate asserts only
+# the replay equivalence contract (every leg's stats byte-identical to
+# the recorded run), which is host-independent.
+#
+# Usage: scripts/bench_replay.sh [ops]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ops=${1:-50000}
+out=results/replay_bench.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rwpserve" ./cmd/rwpserve
+go build -o "$work/rwpreplay" ./cmd/rwpreplay
+
+echo ">> recording $ops-op selftest burst"
+"$work/rwpserve" -selftest "$ops" -sets 256 -ways 8 -shards 4 \
+    -profile mcf -record "$work/reqs.jsonl" >"$work/recorded.json"
+
+# leg <name> <rwpreplay args...>: replay, time it, gate the bytes.
+leg() {
+    name=$1
+    shift
+    start=$(date +%s.%N)
+    "$work/rwpreplay" -in "$work/reqs.jsonl" -sets 256 -ways 8 "$@" \
+        >"$work/$name.json"
+    end=$(date +%s.%N)
+    cmp "$work/recorded.json" "$work/$name.json" || {
+        echo "bench_replay.sh: FAIL: $name replay differs from the recorded run" >&2
+        exit 1
+    }
+    awk -v ops="$ops" -v s="$start" -v e="$end" -v n="$name" \
+        'BEGIN { d = e - s; printf "replay %-12s %8.3f s %12.0f ops/s\n", n, d, ops / d }'
+}
+
+echo ">> replaying through each transport"
+{
+    echo "# journal replay throughput per transport (cmd/rwpreplay, $ops ops)"
+    echo "# wall-clock numbers vary by host; the gate asserts byte-identity only"
+    leg direct -shards 4
+    leg http -shards 4 -transport http
+    leg tcp -shards 4 -transport tcp -batch 64 -pipeline 8
+    leg cluster -shards 1 -transport cluster -nodes 3 -ring-shards 32
+} | tee "$out"
+
+echo "bench_replay.sh: all legs byte-identical to the recorded run"

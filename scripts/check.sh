@@ -142,6 +142,46 @@ cmp "$smoke/live1.json" "$smoke/cluster1.json" || {
     exit 1
 }
 
+# Record/replay smoke: re-run the live burst with -record; capture must
+# not perturb the run (stats == the unrecorded live smoke), replaying
+# the journal over any transport must reproduce those bytes, and
+# re-recording at a different shard count must reproduce the journal
+# itself — the replay equivalence contract (DESIGN.md §14) through the
+# real binaries. $smoke/live1.json is the rwpserve baseline from the
+# live smoke above.
+echo '>> replay smoke: record -> replay reproduces the stats bytes'
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 4 \
+    -profile mcf -record "$smoke/reqs.jsonl" >"$smoke/recorded.json"
+cmp "$smoke/live1.json" "$smoke/recorded.json" || {
+    echo 'check.sh: FAIL: -record perturbed the selftest stats' >&2
+    exit 1
+}
+go run ./cmd/rwpreplay -in "$smoke/reqs.jsonl" -sets 256 -ways 8 \
+    -shards 8 >"$smoke/replay-direct.json"
+cmp "$smoke/live1.json" "$smoke/replay-direct.json" || {
+    echo 'check.sh: FAIL: direct replay differs from the recorded run' >&2
+    exit 1
+}
+go run ./cmd/rwpreplay -in "$smoke/reqs.jsonl" -sets 256 -ways 8 \
+    -shards 2 -transport tcp -batch 64 -pipeline 8 >"$smoke/replay-tcp.json"
+cmp "$smoke/live1.json" "$smoke/replay-tcp.json" || {
+    echo 'check.sh: FAIL: tcp replay differs from the recorded run' >&2
+    exit 1
+}
+go run ./cmd/rwpreplay -in "$smoke/reqs.jsonl" -sets 256 -ways 8 \
+    -shards 1 -transport cluster -nodes 3 -ring-shards 16 \
+    >"$smoke/replay-cluster.json"
+cmp "$smoke/live1.json" "$smoke/replay-cluster.json" || {
+    echo 'check.sh: FAIL: 3-node cluster replay differs from the recorded run' >&2
+    exit 1
+}
+go run ./cmd/rwpreplay -in "$smoke/reqs.jsonl" -sets 256 -ways 8 \
+    -shards 16 -record "$smoke/rerec.jsonl" >/dev/null
+cmp "$smoke/reqs.jsonl" "$smoke/rerec.jsonl" || {
+    echo 'check.sh: FAIL: re-recorded journal differs from the input journal' >&2
+    exit 1
+}
+
 # Managed cluster smoke: with the replication control loop on, the run
 # (merged stats + shard-window journal) must still be bit-identical
 # across reruns — the manager is op-count clocked, not wall clocked.
