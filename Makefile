@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster bench-replay
+.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster bench-replay bench-snap
 
 build:
 	go build ./...
@@ -69,3 +69,10 @@ bench-cluster:
 # byte-identical to the recorded run.
 bench-replay:
 	scripts/bench_replay.sh
+
+# Measure the warm-restart snapshot subsystem: encode/restore
+# microbenches, snapshot size, and the cluster warm-catch-up vs
+# cold-reset comparison; records results/snap_bench.txt and fails if
+# warm catch-up does not strictly cut backend loads.
+bench-snap:
+	scripts/bench_snap.sh

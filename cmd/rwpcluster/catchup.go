@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"rwp/internal/cluster"
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+	"rwp/internal/report"
+)
+
+// runCatchupBench measures what warm replica catch-up buys: the same
+// managed hotspot run twice, once with snapshot catch-up wired and
+// once forced onto the cold-reset path (HarnessConfig.NoCatchup).
+//
+// The comparison is rigorous, not merely suggestive: replica decisions
+// are routing-side functions of the op stream alone, so both legs
+// apply the identical command sequence and serve the identical reads —
+// the only difference is how a just-added replica acquires its range
+// (one bulk snapshot transfer vs a Loader refill per resident key).
+// Summed backend Loads isolate exactly that refill cost; the gate
+// demands warm < cold strictly.
+func runCatchupBench(w io.Writer, cacheCfg live.Config, mode cluster.Mode, ringShards, vnodes, ops, valueSize int, seed uint64) error {
+	hotNames, err := hotShardKeys(cacheCfg.Sets, ringShards, vnodes)
+	if err != nil {
+		return err
+	}
+	stream, err := loadgen.NewHotspot(loadgen.HotspotConfig{
+		HotNames: hotNames, ColdKeys: 65536,
+		HotFrac: 0.9, WriteFrac: 0.1, ZipfS: 1.2,
+		ValueSize: valueSize, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	opsList := stream.Ops(ops)
+
+	type legResult struct {
+		name          string
+		loads         uint64
+		snaps, resets int
+		cmds          int
+	}
+	runLeg := func(name string, noCatchup bool) (legResult, error) {
+		mgr, err := cluster.NewManager(cluster.ManagerConfig{
+			Window: benchWindow, HotReads: 1024, ColdReads: 64,
+		})
+		if err != nil {
+			return legResult{}, err
+		}
+		h, err := cluster.NewHarness(cluster.HarnessConfig{
+			NodeIDs:    []string{"node0", "node1", "node2"},
+			RingShards: ringShards,
+			Vnodes:     vnodes,
+			Cache:      cacheCfg,
+			Mode:       mode,
+			Manager:    mgr,
+			NoCatchup:  noCatchup,
+		})
+		if err != nil {
+			return legResult{}, err
+		}
+		if err := h.Client().Replay(opsList); err != nil {
+			return legResult{}, err
+		}
+		if err := h.Client().Finish(); err != nil {
+			return legResult{}, err
+		}
+		r := legResult{name: name, cmds: len(h.Client().AppliedCommands())}
+		r.snaps, r.resets = h.Client().CatchupCounts()
+		for _, c := range h.Caches() {
+			r.loads += c.Stats().Loads
+		}
+		if err := h.Close(); err != nil {
+			return legResult{}, err
+		}
+		return r, nil
+	}
+
+	warm, err := runLeg("warm", false)
+	if err != nil {
+		return err
+	}
+	cold, err := runLeg("cold", true)
+	if err != nil {
+		return err
+	}
+
+	t := report.New(fmt.Sprintf("catchup bench: %d hotspot ops, window %d, ring-shards %d, mode %s",
+		ops, benchWindow, ringShards, mode),
+		"leg", "backend-loads", "snaps", "resets", "repl-cmds")
+	for _, r := range []legResult{warm, cold} {
+		t.AddRow(r.name, report.I(r.loads), report.I(r.snaps), report.I(r.resets), report.I(r.cmds))
+	}
+	t.Note = "backend-loads = summed node Loader fills; both legs apply identical replica commands"
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ngate: backend-loads warm=%d cold=%d warm-snaps=%d cold-resets=%d cmds warm=%d cold=%d\n",
+		warm.loads, cold.loads, warm.snaps, cold.resets, warm.cmds, cold.cmds)
+	if warm.cmds != cold.cmds {
+		return fmt.Errorf("legs diverged: %d vs %d replica commands (decisions must be routing-side)", warm.cmds, cold.cmds)
+	}
+	if warm.snaps == 0 {
+		return fmt.Errorf("warm leg performed no snapshot catch-ups; bench exercised nothing")
+	}
+	if warm.loads >= cold.loads {
+		return fmt.Errorf("warm catch-up did not cut backend loads: warm=%d cold=%d", warm.loads, cold.loads)
+	}
+	return nil
+}

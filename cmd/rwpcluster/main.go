@@ -11,8 +11,13 @@
 //	rwpcluster -selftest 20000 -manager        replication control loop on
 //	rwpcluster -bench                          1-node vs 3-node vs managed
 //	                                           deterministic cluster bench
+//	rwpcluster -catchup-bench                  warm snapshot catch-up vs
+//	                                           cold-reset replica adds
 //	rwpcluster -selftest 20000 -connect a,b    route against running
 //	                                           rwpserve -tcp processes
+//	                                           (-manager works here too:
+//	                                           replica catch-up runs over
+//	                                           the wire via SNAP/RESTORE)
 //
 // With the manager off the merged document is byte-identical to
 // `rwpserve -selftest` at the same geometry, profile and seed — the
@@ -68,9 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxReplicas := fs.Int("max-replicas", 0, "replica cap per shard (0: node count)")
 	windowsOut := fs.String("windows-out", "", "write the shard-window journal to this file")
 	journalDir := fs.String("journal-dir", "", "write per-node probe journals under this directory")
-	connect := fs.String("connect", "", "comma-separated rwpserve -tcp addresses (real sockets; manager unsupported)")
+	connect := fs.String("connect", "", "comma-separated rwpserve -tcp addresses (real sockets; -manager runs catch-up over the wire)")
 	bench := fs.Bool("bench", false, "run the deterministic cluster bench and exit")
 	benchOps := fs.Int("bench-ops", 120_000, "ops per bench leg")
+	catchupBench := fs.Bool("catchup-bench", false, "run the warm-catchup vs cold-reset replica bench and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -115,6 +121,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *catchupBench {
+		if *connect != "" {
+			fmt.Fprintln(stderr, "rwpcluster: -catchup-bench runs in-process only")
+			return 2
+		}
+		if err := runCatchupBench(stdout, cfg, cluster.Mode(*mode), *ringShards, *vnodes, *benchOps, *valueSize, *seed); err != nil {
+			fmt.Fprintf(stderr, "rwpcluster: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *selftest <= 0 {
 		fmt.Fprintln(stderr, "rwpcluster: nothing to do: pass -selftest N or -bench")
 		return 2
@@ -127,11 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ops := g.Batch(*selftest)
 
 	if *connect != "" {
-		if mgr != nil {
-			fmt.Fprintln(stderr, "rwpcluster: -manager needs in-process nodes (replica resets are local)")
-			return 2
-		}
-		if err := runConnected(stdout, strings.Split(*connect, ","), cfg.Sets, *ringShards, *vnodes, *pipeline, ops); err != nil {
+		if err := runConnected(stdout, strings.Split(*connect, ","), cfg.Sets, *ringShards, *vnodes, *pipeline, mgr, ops); err != nil {
 			fmt.Fprintf(stderr, "rwpcluster: %v\n", err)
 			return 1
 		}
@@ -235,32 +249,50 @@ func windowOpsOf(cl *cluster.Client) int {
 
 // runConnected routes the op stream against running rwpserve -tcp
 // processes: one pipelined binary connection per address, ring shards
-// spread across them at replication factor one (replica management
-// needs in-process nodes). It prints each node's stats document in
-// address order.
-func runConnected(w io.Writer, addrs []string, sets, ringShards, vnodes, pipeline int, ops []loadgen.Op) error {
+// spread across them. With -manager the replication control loop runs
+// too: replica adds are satisfied over the wire, warm when possible
+// (SNAP from the shard primary, RESTORE onto the new replica) and by a
+// remote RESET otherwise. It prints each node's stats document in
+// address order, plus a catch-up summary when managed.
+func runConnected(w io.Writer, addrs []string, sets, ringShards, vnodes, pipeline int, mgr *cluster.Manager, ops []loadgen.Op) error {
 	ring, err := cluster.New(sets, ringShards, addrs, vnodes)
 	if err != nil {
 		return err
 	}
 	conns := make([]cluster.NodeConn, len(addrs))
+	resetters := make([]cluster.Resetter, len(addrs))
+	snapshotters := make([]cluster.Snapshotter, len(addrs))
+	restorers := make([]cluster.Restorer, len(addrs))
 	for i, addr := range addrs {
 		nc, err := net.Dial("tcp", strings.TrimSpace(addr))
 		if err != nil {
 			return fmt.Errorf("node %s: %w", addr, err)
 		}
-		conns[i] = proto.NewClient(nc)
+		cli := proto.NewClient(nc)
+		conns[i] = cli
+		// A RESET wire failure poisons the connection, so the swallowed
+		// error here is not lost — the next data op surfaces it sticky.
+		resetters[i] = func(lo, hi int) int { n, _ := cli.ResetRange(lo, hi); return n }
+		snapshotters[i] = cli.SnapRange
+		restorers[i] = cli.Restore
 	}
 	defer func() {
 		for _, c := range conns {
 			c.Close()
 		}
 	}()
-	cl, err := cluster.NewClient(cluster.ClientConfig{Ring: ring, Conns: conns, Pipeline: pipeline})
+	cl, err := cluster.NewClient(cluster.ClientConfig{
+		Ring: ring, Conns: conns,
+		Resetters: resetters, Snapshotters: snapshotters, Restorers: restorers,
+		Manager: mgr, Pipeline: pipeline,
+	})
 	if err != nil {
 		return err
 	}
 	if err := cl.Replay(ops); err != nil {
+		return err
+	}
+	if err := cl.Finish(); err != nil {
 		return err
 	}
 	for i, conn := range conns {
@@ -272,6 +304,11 @@ func runConnected(w io.Writer, addrs []string, sets, ringShards, vnodes, pipelin
 		if _, err := w.Write(data); err != nil {
 			return err
 		}
+	}
+	if mgr != nil {
+		snaps, resets := cl.CatchupCounts()
+		fmt.Fprintf(w, "== catchup ==\ncommands=%d snaps=%d resets=%d\n",
+			len(cl.AppliedCommands()), snaps, resets)
 	}
 	return nil
 }

@@ -79,7 +79,7 @@ func TestSelftestMatchesSingleNode(t *testing.T) {
 	}
 	loadgen.ApplyAll(c, g.Batch(8000))
 	var want bytes.Buffer
-	if err := live.WritePayload(&want, c.Snapshot()); err != nil {
+	if err := live.WritePayload(&want, c.StatsSnapshot()); err != nil {
 		t.Fatal(err)
 	}
 	if got != want.String() {
@@ -191,6 +191,89 @@ func TestConnectMode(t *testing.T) {
 	}
 }
 
+// startServers spins n live caches behind real TCP listeners speaking
+// proto.ServeConn — exactly what rwpserve -tcp runs — and returns
+// their addresses.
+func startServers(t *testing.T, n int) []string {
+	t.Helper()
+	cfg := live.DefaultConfig()
+	cfg.Sets, cfg.Ways, cfg.Shards = 256, 4, 4
+	cfg.Record = true
+	cfg.Loader = loadgen.Loader(0)
+	addrs := make([]string, n)
+	for i := range addrs {
+		c, err := live.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			proto.ServeConn(conn, c)
+		}()
+	}
+	return addrs
+}
+
+// TestConnectManaged runs the manager against real TCP servers: replica
+// adds must be satisfied over the wire, warm (SNAP/RESTORE) every time
+// — the servers support the range ops, so the reset fallback should
+// never fire.
+func TestConnectManaged(t *testing.T) {
+	addrs := startServers(t, 3)
+	out := clusterOut(t, "-selftest", "8000", "-sets", "256", "-ways", "4",
+		"-shards", "4", "-ring-shards", "16", "-connect", strings.Join(addrs, ","),
+		"-manager", "-window", "512", "-hot", "24", "-cold", "4")
+	if !strings.Contains(out, "== catchup ==") {
+		t.Fatalf("managed connect output missing catchup summary:\n%s", out)
+	}
+	var cmds, snaps, resets int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "commands=") {
+			if _, err := fmt.Sscanf(line, "commands=%d snaps=%d resets=%d", &cmds, &snaps, &resets); err != nil {
+				t.Fatalf("catchup line %q does not parse: %v", line, err)
+			}
+		}
+	}
+	if cmds == 0 {
+		t.Fatal("manager applied no replica commands; test exercised nothing")
+	}
+	if snaps == 0 || resets != 0 {
+		t.Errorf("wire catch-up: snaps=%d resets=%d, want all adds warm", snaps, resets)
+	}
+}
+
+// TestCatchupBenchGate runs the catch-up bench small; the command
+// itself enforces the gate (identical commands, snaps > 0, warm loads
+// strictly below cold), so a zero exit is the assertion.
+func TestCatchupBenchGate(t *testing.T) {
+	out := clusterOut(t, "-catchup-bench", "-bench-ops", "24576", "-sets", "256", "-ways", "4", "-shards", "4")
+	if !strings.Contains(out, "gate: backend-loads warm=") {
+		t.Fatalf("no gate line in catchup bench output:\n%s", out)
+	}
+	// Pipe mode must agree with direct on everything the gate prints.
+	out2 := clusterOut(t, "-catchup-bench", "-mode", "pipe", "-bench-ops", "24576", "-sets", "256", "-ways", "4", "-shards", "4")
+	gate := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "gate:") {
+				return l
+			}
+		}
+		return ""
+	}
+	if gate(out) != gate(out2) {
+		t.Errorf("catchup gate differs across modes:\n%s\nvs\n%s", gate(out), gate(out2))
+	}
+}
+
 // TestBenchGate runs the deterministic bench small and checks the gate
 // line holds: managed modeled throughput at or above static, managed
 // late-window p99 at or below static.
@@ -232,8 +315,8 @@ func TestBadArgs(t *testing.T) {
 		{"bad mode", []string{"-selftest", "10", "-mode", "telegraph"}, 2},
 		{"bad policy", []string{"-selftest", "10", "-policy", "fifo"}, 2},
 		{"ring shards do not divide sets", []string{"-selftest", "10", "-ring-shards", "3"}, 2},
-		{"manager over connect", []string{"-selftest", "10", "-connect", "127.0.0.1:1", "-manager"}, 2},
 		{"bench over connect", []string{"-bench", "-connect", "127.0.0.1:1"}, 2},
+		{"catchup-bench over connect", []string{"-catchup-bench", "-connect", "127.0.0.1:1"}, 2},
 		{"bad manager window", []string{"-selftest", "10", "-manager", "-window", "0"}, 2},
 		{"bad profile", []string{"-selftest", "10", "-profile", "nope"}, 2},
 	} {

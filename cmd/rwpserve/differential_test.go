@@ -210,10 +210,10 @@ func TestServeListenErrors(t *testing.T) {
 
 	c := diffCache(t)
 	var out, errb bytes.Buffer
-	if err := serve(context.Background(), busy, "", c, &out, &errb); err == nil {
+	if err := serve(context.Background(), busy, "", c, "", 0, &out, &errb); err == nil {
 		t.Error("serve on a busy HTTP port: no error")
 	}
-	if err := serve(context.Background(), "127.0.0.1:0", busy, c, &out, &errb); err == nil {
+	if err := serve(context.Background(), "127.0.0.1:0", busy, c, "", 0, &out, &errb); err == nil {
 		t.Error("serve on a busy TCP port: no error")
 	}
 }

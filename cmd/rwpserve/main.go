@@ -10,6 +10,14 @@
 //	rwpserve -record reqs.jsonl ...  additionally journal every request
 //	                                 (schema rwp-reqlog-v1; replay with
 //	                                 cmd/rwpreplay)
+//	rwpserve -snapshot s.snap ...    write a state snapshot (schema
+//	                                 rwp-snap-v1) at graceful shutdown /
+//	                                 selftest exit; -snap-every N adds
+//	                                 op-count-clocked checkpoints
+//	rwpserve -restore s.snap ...     warm-start from a snapshot; /stats
+//	                                 and all future behavior are
+//	                                 byte-identical to a never-restarted
+//	                                 run (bad snapshots log + start cold)
 //	rwpserve -bench                  RWP vs LRU read-hit-rate bench
 //	                                 over workload profiles, exit
 //	rwpserve -proto-bench            binary vs HTTP throughput/latency
@@ -45,6 +53,7 @@ import (
 	"rwp/internal/live/drive"
 	"rwp/internal/live/loadgen"
 	"rwp/internal/probe"
+	"rwp/internal/snap"
 	"rwp/internal/workload"
 )
 
@@ -70,7 +79,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	noLoader := fs.Bool("no-loader", false, "disable the synthetic backing store (Get misses return 404)")
 	probeOn := fs.Bool("probe", true, "attach probe recorders (probe section of /stats)")
 	recordPath := fs.String("record", "", "journal every request to this file (schema rwp-reqlog-v1)")
+	snapPath := fs.String("snapshot", "", "write a state snapshot (schema rwp-snap-v1) here at graceful shutdown / selftest exit")
+	snapEvery := fs.Uint64("snap-every", 0, "additionally checkpoint -snapshot every N data ops (serve mode; 0: shutdown only)")
+	restorePath := fs.String("restore", "", "warm-start from this snapshot; a bad snapshot logs and starts cold")
 	selftest := fs.Int("selftest", 0, "run N loadgen ops through -transport, print /stats JSON, exit")
+	selftestSkip := fs.Int("selftest-skip", 0, "skip the first K of the -selftest ops (resume a stream after -restore)")
 	profile := fs.String("profile", "mcf", "workload profile for -selftest and -proto-bench")
 	seed := fs.Uint64("seed", 0, "loadgen seed offset for -selftest and -proto-bench")
 	transport := fs.String("transport", "direct", "transport for -selftest/-bench: direct, http, or tcp")
@@ -108,6 +121,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *recordPath != "" && (*bench || *protoBench) {
 		fmt.Fprintln(stderr, "rwpserve: -record needs -selftest or serve mode (benches build private caches)")
+		return 2
+	}
+	if (*snapPath != "" || *restorePath != "") && (*bench || *protoBench) {
+		fmt.Fprintln(stderr, "rwpserve: -snapshot/-restore need -selftest or serve mode (benches build private caches)")
+		return 2
+	}
+	if *snapEvery > 0 && (*snapPath == "" || *selftest > 0 || *bench || *protoBench) {
+		fmt.Fprintln(stderr, "rwpserve: -snap-every needs serve mode with -snapshot")
+		return 2
+	}
+	if *selftestSkip < 0 || *selftestSkip > *selftest {
+		// skip == selftest is allowed on purpose: it restores, replays
+		// zero ops, prints stats, and re-snapshots — the fixed-point
+		// probe the restart smoke in scripts/check.sh runs.
+		fmt.Fprintln(stderr, "rwpserve: -selftest-skip must be in [0, -selftest]")
 		return 2
 	}
 
@@ -151,8 +179,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *restorePath != "" {
+		// A bad snapshot — unreadable, corrupt, wrong geometry — must
+		// never take the server down or leave partial state: log why
+		// and serve cold, exactly as if no snapshot existed.
+		if rerr := restoreCache(c, *restorePath); rerr != nil {
+			fmt.Fprintf(stderr, "rwpserve: restore %s: %v; starting cold\n", *restorePath, rerr)
+		}
+	}
+
 	if *selftest > 0 {
-		err := runSelftest(stdout, c, tr, *profile, *seed, *valueSize, *selftest, *batch, *pipeline)
+		err := runSelftest(stdout, c, tr, *profile, *seed, *valueSize, *selftest, *selftestSkip, *batch, *pipeline)
+		if err == nil && *snapPath != "" {
+			err = snap.WriteFile(*snapPath, c.Snapshot())
+		}
 		if err == nil && closeLog != nil {
 			err = closeLog()
 		}
@@ -163,7 +203,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	err = serve(ctx, *addr, *tcpAddr, c, stdout, stderr)
+	err = serve(ctx, *addr, *tcpAddr, c, *snapPath, *snapEvery, stdout, stderr)
 	if closeLog != nil {
 		if cerr := closeLog(); err == nil {
 			err = cerr
@@ -203,17 +243,25 @@ func openReqLog(path, desc string) (*probe.ReqLogWriter, func() error, error) {
 // that same transport. Deterministic: the output is bit-identical
 // across repeated runs, across shard counts, and across transports —
 // the differential tests compare these bytes directly.
-func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uint64, valSize, n, batch, depth int) error {
+//
+// skip discards the first skip generator ops without issuing them, so
+// a -restore'd server resumes the stream exactly where the snapshotted
+// run left off: restore at op K + replay ops K..n must print the same
+// bytes as a never-restarted n-op run.
+func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uint64, valSize, n, skip, batch, depth int) error {
 	g, err := loadgen.New(profile, seed, valSize)
 	if err != nil {
 		return err
+	}
+	for i := 0; i < skip; i++ {
+		g.Next()
 	}
 	tgt, err := drive.New(transport, c, batch, depth)
 	if err != nil {
 		return err
 	}
 	defer tgt.Close()
-	if err := tgt.Replay(g.Batch(n)); err != nil {
+	if err := tgt.Replay(g.Batch(n - skip)); err != nil {
 		return err
 	}
 	data, err := tgt.StatsJSON()

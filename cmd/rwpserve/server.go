@@ -14,6 +14,7 @@ import (
 	"rwp/internal/live"
 	"rwp/internal/live/drive"
 	"rwp/internal/live/proto"
+	"rwp/internal/snap"
 )
 
 // tcpServer accepts binary-protocol connections and serves each with
@@ -148,7 +149,12 @@ const shutdownTimeout = 5 * time.Second
 // until ctx is cancelled (SIGINT/SIGTERM in main) or either listener
 // fails. Shutdown is shared and ordered: both listeners stop accepting,
 // then both drain in-flight work within shutdownTimeout.
-func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout, stderr io.Writer) error {
+//
+// When snapPath is non-empty a state snapshot is written there after
+// the graceful drain (so it reflects every answered request), and —
+// with snapEvery > 0 — checkpointed every snapEvery data ops along the
+// way via the snapCache wrapper on the op path.
+func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, snapPath string, snapEvery uint64, stdout, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return err
@@ -156,6 +162,15 @@ func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout,
 	cfg := c.Config()
 	fmt.Fprintf(stdout, "rwpserve: policy=%s sets=%d ways=%d shards=%d listening on http://%s\n",
 		cfg.Policy, cfg.Sets, cfg.Ways, cfg.Shards, ln.Addr())
+
+	// Both transports serve the same backend value, so op-count
+	// checkpoints see HTTP and binary traffic alike.
+	var backend drive.Backend = c
+	var sc *snapCache
+	if snapPath != "" {
+		sc = newSnapCache(c, snapPath, snapEvery, stderr)
+		backend = sc
+	}
 
 	var tsrv *tcpServer
 	errc := make(chan error, 2)
@@ -166,11 +181,11 @@ func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout,
 			return err
 		}
 		fmt.Fprintf(stdout, "rwpserve: binary protocol listening on tcp://%s\n", tln.Addr())
-		tsrv = newTCPServer(tln, c, stderr)
+		tsrv = newTCPServer(tln, backend, stderr)
 		go func() { errc <- tsrv.serve() }()
 	}
 
-	srv := &http.Server{Handler: drive.Handler(c)}
+	srv := &http.Server{Handler: drive.Handler(backend)}
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {
@@ -181,6 +196,9 @@ func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout,
 		srv.Shutdown(sctx)
 		if tsrv != nil {
 			tsrv.shutdown(sctx)
+		}
+		if sc != nil {
+			sc.drain() // no final snapshot on a failure exit
 		}
 		return err
 	case <-ctx.Done():
@@ -203,5 +221,14 @@ func serve(ctx context.Context, httpAddr, tcpAddr string, c *live.Cache, stdout,
 		<-errc // tcp serve() returns nil after shutdown
 	}
 	<-errc // http Serve returns ErrServerClosed after Shutdown
+	if snapPath != "" {
+		// After the full drain: the shutdown snapshot reflects every
+		// answered request, and no checkpoint can race the final write.
+		sc.drain()
+		if err := snap.WriteFile(snapPath, c.Snapshot()); err != nil {
+			return fmt.Errorf("shutdown snapshot: %w", err)
+		}
+		fmt.Fprintf(stdout, "rwpserve: snapshot written to %s\n", snapPath)
+	}
 	return nil
 }

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rwp/internal/snap"
+)
+
+// selftestArgs is the shared geometry for the restart-equivalence CLI
+// tests; small enough to keep the runs fast, big enough for RWP
+// retargets to fire.
+func selftestArgs(extra ...string) []string {
+	base := []string{"-sets", "128", "-ways", "4", "-interval", "32", "-profile", "mcf"}
+	return append(base, extra...)
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestSelftestRestartEquivalence is the acceptance criterion through
+// the real flag surface: snapshot a 12k-op selftest, resume it with
+// -restore/-selftest-skip to op 20k — at a different shard count — and
+// the printed stats JSON must be byte-identical to one uninterrupted
+// 20k-op run.
+func TestSelftestRestartEquivalence(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "warm.snap")
+
+	base, errb, code := runCLI(t, selftestArgs("-selftest", "20000", "-shards", "1")...)
+	if code != 0 {
+		t.Fatalf("baseline run = %d, stderr: %s", code, errb)
+	}
+	_, errb, code = runCLI(t, selftestArgs("-selftest", "12000", "-shards", "4", "-snapshot", snapPath)...)
+	if code != 0 {
+		t.Fatalf("warm run = %d, stderr: %s", code, errb)
+	}
+	for _, shards := range []string{"1", "4", "32"} {
+		got, errb, code := runCLI(t, selftestArgs("-selftest", "20000", "-selftest-skip", "12000",
+			"-shards", shards, "-restore", snapPath)...)
+		if code != 0 {
+			t.Fatalf("resumed run (shards=%s) = %d, stderr: %s", shards, code, errb)
+		}
+		if strings.Contains(errb, "starting cold") {
+			t.Fatalf("resumed run (shards=%s) fell back to cold: %s", shards, errb)
+		}
+		if got != base {
+			t.Errorf("resumed output (shards=%s) differs from uninterrupted run:\n%s\nvs\n%s", shards, got, base)
+		}
+	}
+
+	// Fixed point through the CLI: skip == selftest restores, replays
+	// nothing, and re-snapshots; the file must reproduce byte-for-byte
+	// even at a different shard count.
+	again := filepath.Join(filepath.Dir(snapPath), "again.snap")
+	_, errb, code = runCLI(t, selftestArgs("-selftest", "12000", "-selftest-skip", "12000",
+		"-shards", "32", "-restore", snapPath, "-snapshot", again)...)
+	if code != 0 {
+		t.Fatalf("fixed-point run = %d, stderr: %s", code, errb)
+	}
+	want, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("re-snapshot is not a fixed point: %d vs %d bytes", len(want), len(got))
+	}
+}
+
+// TestRestoreBadSnapshotStartsCold: a truncated or missing snapshot is
+// logged and ignored — exit 0, cold-start output.
+func TestRestoreBadSnapshotStartsCold(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "warm.snap")
+	_, errb, code := runCLI(t, selftestArgs("-selftest", "2000", "-snapshot", snapPath)...)
+	if code != 0 {
+		t.Fatalf("warm run = %d, stderr: %s", code, errb)
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.snap")
+	if err := os.WriteFile(trunc, data[:256], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, _, code := runCLI(t, selftestArgs("-selftest", "2000")...)
+	if code != 0 {
+		t.Fatal("cold baseline failed")
+	}
+	for _, path := range []string{trunc, filepath.Join(dir, "missing.snap")} {
+		got, errb, code := runCLI(t, selftestArgs("-selftest", "2000", "-restore", path)...)
+		if code != 0 {
+			t.Fatalf("restore %s: exit %d, stderr: %s", path, code, errb)
+		}
+		if !strings.Contains(errb, "starting cold") {
+			t.Errorf("restore %s: stderr missing 'starting cold': %s", path, errb)
+		}
+		if got != base {
+			t.Errorf("restore %s: output differs from cold run", path)
+		}
+	}
+}
+
+// TestRestoreGeometryMismatchStartsCold: a valid snapshot of the wrong
+// geometry is a cold start, not a crash or a partial restore.
+func TestRestoreGeometryMismatchStartsCold(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "warm.snap")
+	if _, errb, code := runCLI(t, selftestArgs("-selftest", "2000", "-snapshot", snapPath)...); code != 0 {
+		t.Fatalf("warm run = %d, stderr: %s", code, errb)
+	}
+	_, errb, code := runCLI(t, "-sets", "64", "-ways", "4", "-interval", "32",
+		"-profile", "mcf", "-selftest", "100", "-restore", snapPath)
+	if code != 0 || !strings.Contains(errb, "starting cold") {
+		t.Fatalf("geometry mismatch: exit %d, stderr: %s", code, errb)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for watching serve-mode output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) wait(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := b.String(); strings.Contains(s, substr) {
+			return s
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %q in output:\n%s", substr, b.String())
+	return ""
+}
+
+// TestServeShutdownSnapshot runs serve mode end to end: drive HTTP
+// traffic with op-count checkpoints enabled, shut down gracefully, and
+// verify both the checkpoint and the final snapshot are valid and that
+// the final one reflects all traffic.
+func TestServeShutdownSnapshot(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "serve.snap")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-sets", "64", "-ways", "4",
+			"-snapshot", snapPath, "-snap-every", "10"}, &out, &errb)
+	}()
+	listening := out.wait(t, "listening on http://")
+	_, rest, _ := strings.Cut(listening, "http://")
+	url := "http://" + strings.TrimSpace(strings.Split(rest, "\n")[0])
+
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(url + "/get?key=serve-key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// A checkpoint boundary has passed; wait for the async write.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := snap.ReadFile(snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint snapshot never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("serve run = %d, stderr: %s", code, errb.String())
+	}
+	out.wait(t, "snapshot written to")
+	s, err := snap.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("shutdown snapshot: %v", err)
+	}
+	var gets uint64
+	for i := range s.Records {
+		gets += s.Records[i].Ops.Gets
+	}
+	if gets != 40 {
+		t.Errorf("shutdown snapshot records %d gets, want 40", gets)
+	}
+}
+
+// TestSnapshotFlagErrors pins the flag-combination validation.
+func TestSnapshotFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"snapshot with bench", []string{"-bench", "-snapshot", "x.snap"}},
+		{"restore with proto-bench", []string{"-proto-bench", "-restore", "x.snap"}},
+		{"snap-every without snapshot", []string{"-snap-every", "100"}},
+		{"snap-every with selftest", []string{"-selftest", "100", "-snapshot", "x.snap", "-snap-every", "10"}},
+		{"negative skip", []string{"-selftest", "100", "-selftest-skip", "-1"}},
+		{"skip past end", []string{"-selftest", "100", "-selftest-skip", "101"}},
+	} {
+		if _, _, code := runCLI(t, tc.args...); code != 2 {
+			t.Errorf("%s: run = %d, want 2", tc.name, code)
+		}
+	}
+}

@@ -35,8 +35,8 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		url += "/stats"
 	}
 
-	fmt.Fprintf(w, "%-6s %10s %10s %8s %22s %9s %9s %8s\n",
-		"poll", "gets", "puts", "rd-hit", "retargets(+/-/=)", "p99-cost", "entries", "dirty")
+	fmt.Fprintf(w, "%-6s %10s %10s %8s %22s %9s %11s %9s %8s\n",
+		"poll", "gets", "puts", "rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "entries", "dirty")
 
 	var prev live.StatsPayload
 	have := false
@@ -55,8 +55,8 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		if !have {
 			prev = cur
 			have = true
-			fmt.Fprintf(w, "%-6d %10s %10s %8s %22s %9s %9d %8d  (baseline: %d ops total)\n",
-				n, "-", "-", "-", "-", "-", cur.Stats.Entries, cur.Stats.DirtyEntries,
+			fmt.Fprintf(w, "%-6d %10s %10s %8s %22s %9s %11s %9d %8d  (baseline: %d ops total)\n",
+				n, "-", "-", "-", "-", "-", "-", cur.Stats.Entries, cur.Stats.DirtyEntries,
 				cur.Stats.Gets+cur.Stats.Puts)
 			continue
 		}
@@ -76,8 +76,19 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		if dh, ok := costDelta(prev.Stats.CostHist, d.CostHist); ok && dh.N() > 0 {
 			p99 = fmt.Sprintf("%d", dh.Percentile(99))
 		}
-		fmt.Fprintf(w, "%-6d %10d %10d %8s %22s %9s %9d %8d\n",
-			n, dGets, dPuts, rdHit, retarg, p99, d.Entries, d.DirtyEntries)
+		// The clean/dirty split of the same interval histogram: dirty
+		// (write-partition) hits trending costlier than clean ones is the
+		// live signature of the RWP write-line separation at work.
+		splitP99 := func(prevH, curH probe.CostHist) string {
+			if dh, ok := costDelta(prevH, curH); ok && dh.N() > 0 {
+				return fmt.Sprintf("%d", dh.Percentile(99))
+			}
+			return "-"
+		}
+		p99cd := splitP99(prev.Stats.CostHistClean, d.CostHistClean) + "/" +
+			splitP99(prev.Stats.CostHistDirty, d.CostHistDirty)
+		fmt.Fprintf(w, "%-6d %10d %10d %8s %22s %9s %11s %9d %8d\n",
+			n, dGets, dPuts, rdHit, retarg, p99, p99cd, d.Entries, d.DirtyEntries)
 		prev = cur
 	}
 	return nil

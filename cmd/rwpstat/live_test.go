@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -75,7 +76,7 @@ func TestLivePollerDeltas(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"rd-hit", "retargets(+/-/=)", "p99-cost", "baseline"} {
+	for _, want := range []string{"rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "baseline"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("poller output missing %q:\n%s", want, got)
 		}
@@ -86,6 +87,12 @@ func TestLivePollerDeltas(t *testing.T) {
 	last := lines[len(lines)-1]
 	if !strings.Contains(last, "+") || !strings.Contains(last, "/=") {
 		t.Errorf("delta line lacks the retarget split: %q", last)
+	}
+	// The interval clean/dirty p99 split: the mcf burst has both clean
+	// and dirty hits, so the cell is number/number (the retarget split
+	// never matches this shape — its slashes precede signs).
+	if !regexp.MustCompile(`\d+/\d+`).MatchString(last) {
+		t.Errorf("delta line lacks the clean/dirty p99 split: %q", last)
 	}
 	if strings.Contains(last, "baseline") {
 		t.Errorf("second poll still printing baseline: %q", last)

@@ -36,6 +36,18 @@ var _ NodeConn = (*proto.Client)(nil)
 // node's Loader.
 type Resetter func(lo, hi int) int
 
+// Snapshotter captures a node's global cache-set range [lo, hi) as
+// snapshot bytes (internal/snap format). In-process nodes bind it to
+// live.Cache.SnapBytes, remote nodes to proto.Client.SnapRange.
+type Snapshotter func(lo, hi int) ([]byte, error)
+
+// Restorer applies snapshot bytes to a node with catch-up semantics —
+// entries and policy state installed for the snapshot's range, the
+// node's own counters kept — returning entries purged. In-process
+// nodes bind it to live.Cache.RestoreBytes, remote nodes to
+// proto.Client.Restore.
+type Restorer func(data []byte) (int, error)
+
 // ClientConfig wires a router.
 type ClientConfig struct {
 	// Ring maps keys to shards and shards to nodes. The router owns it
@@ -44,9 +56,17 @@ type ClientConfig struct {
 	// Conns holds one transport per ring node, index-aligned.
 	Conns []NodeConn
 	// Resetters is index-aligned with Conns; required when Manager is
-	// set, optional (nil) otherwise. Remote TCP nodes have no resetter,
-	// which is why the real-socket mode runs manager-off.
+	// set, optional (nil) otherwise — it is the unconditional fallback
+	// for replica adds. Remote TCP nodes bind proto.Client.ResetRange.
 	Resetters []Resetter
+	// Snapshotters and Restorers, when wired (both non-empty,
+	// index-aligned with Conns), upgrade replica adds from cold resets
+	// to warm catch-up: the new replica receives the shard primary's
+	// state snapshot instead of refilling every resident key through
+	// its Loader. Any transfer failure falls back to the Resetter, so
+	// correctness (read-your-write) never depends on them.
+	Snapshotters []Snapshotter
+	Restorers    []Restorer
 	// Manager, when non-nil, runs the replication control loop at
 	// window boundaries.
 	Manager *Manager
@@ -80,9 +100,17 @@ type Client struct {
 	ring      *Ring
 	conns     []NodeConn
 	reset     []Resetter
+	snap      []Snapshotter
+	restore   []Restorer
 	mgr       *Manager
 	windowOps int
 	pipeline  int
+
+	// catchupSnaps and catchupResets count how replica adds were
+	// satisfied: a warm snapshot transfer from the shard primary, or
+	// the cold-reset fallback.
+	catchupSnaps  int
+	catchupResets int
 
 	// Current-window state, all op-count clocked.
 	window    int
@@ -119,6 +147,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			}
 		}
 	}
+	if len(cfg.Snapshotters) != 0 && len(cfg.Snapshotters) != len(cfg.Conns) {
+		return nil, fmt.Errorf("cluster: %d snapshotters for %d conns", len(cfg.Snapshotters), len(cfg.Conns))
+	}
+	if len(cfg.Restorers) != 0 && len(cfg.Restorers) != len(cfg.Conns) {
+		return nil, fmt.Errorf("cluster: %d restorers for %d conns", len(cfg.Restorers), len(cfg.Conns))
+	}
 	if cfg.Pipeline <= 0 {
 		cfg.Pipeline = DefaultPipeline
 	}
@@ -130,6 +164,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		ring:      cfg.Ring,
 		conns:     cfg.Conns,
 		reset:     cfg.Resetters,
+		snap:      cfg.Snapshotters,
+		restore:   cfg.Restorers,
 		mgr:       cfg.Manager,
 		windowOps: windowOps,
 		pipeline:  cfg.Pipeline,
@@ -231,8 +267,8 @@ func (c *Client) closeWindow(decide bool) {
 	c.opsInWin = 0
 }
 
-// apply executes one manager command against the ring, resetting a
-// newly added replica's set range so it starts cold (see Resetter).
+// apply executes one manager command against the ring, bringing a
+// newly added replica's set range up to date (see syncReplica).
 func (c *Client) apply(cmd Command) {
 	switch cmd.Kind {
 	case AddReplica:
@@ -241,13 +277,48 @@ func (c *Client) apply(cmd Command) {
 			return
 		}
 		lo, hi := c.ring.SetRange(cmd.Shard)
-		c.reset[n](lo, hi)
+		c.syncReplica(cmd.Shard, n, lo, hi)
 	case DropReplica:
 		if _, ok := c.ring.DropReplica(cmd.Shard); !ok {
 			return
 		}
 	}
 	c.applied = append(c.applied, cmd)
+}
+
+// syncReplica brings the just-added replica n of shard up to date:
+// warm catch-up — the shard primary's state snapshot transferred and
+// installed — when the hooks are wired, a cold reset otherwise or on
+// any transfer failure. Both paths drop whatever stale entries n held,
+// so read-your-write holds either way; catch-up just replaces the
+// Loader-refill cost of every future read with one bulk transfer.
+// AddReplica appends to the replica set, so the primary is a
+// previously-serving node, never n itself. Called only from apply —
+// after boundary's flushAll, so the transports' pipelines are empty
+// and the chunked transfer cannot tear a burst.
+func (c *Client) syncReplica(shard, n, lo, hi int) {
+	if p := c.ring.Primary(shard); c.canCatchup(p, n) {
+		if data, err := c.snap[p](lo, hi); err == nil {
+			if _, err := c.restore[n](data); err == nil {
+				c.catchupSnaps++
+				return
+			}
+		}
+	}
+	c.reset[n](lo, hi)
+	c.catchupResets++
+}
+
+// canCatchup reports whether both transfer hooks exist for the
+// primary/replica pair.
+func (c *Client) canCatchup(p, n int) bool {
+	return len(c.snap) != 0 && len(c.restore) != 0 && c.snap[p] != nil && c.restore[n] != nil
+}
+
+// CatchupCounts reports how replica adds were satisfied so far:
+// warm snapshot transfers and cold-reset fallbacks.
+func (c *Client) CatchupCounts() (snaps, resets int) {
+	return c.catchupSnaps, c.catchupResets
 }
 
 // flushAll drains every node connection in node order.

@@ -162,6 +162,14 @@ func TestPipeEqualsDirect(t *testing.T) {
 	if len(cd) == 0 {
 		t.Error("managed run applied no replica commands — test stream too tame")
 	}
+	sd, rd := hd.Client().CatchupCounts()
+	sp, rp := hp.Client().CatchupCounts()
+	if sd != sp || rd != rp {
+		t.Errorf("catch-up counts differ: direct %d/%d, pipe %d/%d", sd, rd, sp, rp)
+	}
+	if sd == 0 {
+		t.Error("managed run performed no warm catch-ups — replica adds took the cold fallback")
+	}
 	if err := hd.Close(); err != nil {
 		t.Errorf("direct Close: %v", err)
 	}
@@ -384,6 +392,68 @@ func TestReadYourWriteAcrossReplicaChurn(t *testing.T) {
 		t.Errorf("expected add/drop/re-add churn on shard %d, got %d adds %d drops (commands %v)",
 			shard, adds, drops, cl.AppliedCommands())
 	}
+}
+
+// TestCatchupCutsBackendLoads is the catch-up payoff test: the same
+// managed stream run with warm catch-up and with the cold-reset
+// baseline. The manager's decision stream is identical (service costs
+// are routing-side, independent of cache contents), so the only
+// difference is how re-added replicas warm up — and the warm run must
+// spend strictly fewer backend Loads while preserving the same merged
+// read-your-write semantics the churn test pins.
+func TestCatchupCutsBackendLoads(t *testing.T) {
+	ops := testStream(t, 12000)
+	run := func(noCatchup bool) (*Cluster, uint64) {
+		mgr, err := NewManager(ManagerConfig{Window: 1024, HotReads: 128, ColdReads: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHarness(HarnessConfig{
+			NodeIDs:    harnessIDs(3),
+			RingShards: 16,
+			Cache:      testCacheConfig(),
+			Manager:    mgr,
+			NoCatchup:  noCatchup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Client().Replay(ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var loads uint64
+		for _, c := range h.Caches() {
+			loads += c.Stats().Loads
+		}
+		return h, loads
+	}
+	hw, warmLoads := run(false)
+	hc, coldLoads := run(true)
+
+	snaps, resets := hw.Client().CatchupCounts()
+	if snaps == 0 || resets != 0 {
+		t.Fatalf("warm run: %d catch-ups, %d fallbacks — wiring broken", snaps, resets)
+	}
+	if s, r := hc.Client().CatchupCounts(); s != 0 || r == 0 {
+		t.Fatalf("cold run: %d catch-ups, %d resets — NoCatchup ignored", s, r)
+	}
+	// Identical decision streams: the comparison is apples to apples.
+	cw, cc := hw.Client().AppliedCommands(), hc.Client().AppliedCommands()
+	if len(cw) != len(cc) {
+		t.Fatalf("decision streams diverged: %d vs %d commands", len(cw), len(cc))
+	}
+	for i := range cw {
+		if cw[i] != cc[i] {
+			t.Fatalf("command %d differs: %v vs %v", i, cw[i], cc[i])
+		}
+	}
+	if warmLoads >= coldLoads {
+		t.Errorf("catch-up did not cut backend loads: warm %d, cold-reset %d", warmLoads, coldLoads)
+	}
+	t.Logf("backend loads: catch-up %d, cold reset %d (saved %d)", warmLoads, coldLoads, coldLoads-warmLoads)
 }
 
 // TestWindowJournalRoundTrip writes a run's window log through the

@@ -44,6 +44,10 @@ type HarnessConfig struct {
 	Window int
 	// Pipeline is the router's flush depth (see ClientConfig).
 	Pipeline int
+	// NoCatchup disables warm replica catch-up: newly added replicas
+	// reset cold and refill through their Loaders — the pre-snapshot
+	// behavior the catch-up benchmark compares against.
+	NoCatchup bool
 }
 
 // Cluster is an in-process multi-node cache: N independent live
@@ -85,6 +89,8 @@ func NewHarness(cfg HarnessConfig) (*Cluster, error) {
 		srvErrs: make([]error, len(cfg.NodeIDs)),
 	}
 	resetters := make([]Resetter, len(cfg.NodeIDs))
+	snapshotters := make([]Snapshotter, len(cfg.NodeIDs))
+	restorers := make([]Restorer, len(cfg.NodeIDs))
 	for i := range cfg.NodeIDs {
 		c, err := live.New(cfg.Cache)
 		if err != nil {
@@ -95,6 +101,8 @@ func NewHarness(cfg HarnessConfig) (*Cluster, error) {
 		switch cfg.Mode {
 		case Direct:
 			h.conns[i] = &directConn{cache: c}
+			snapshotters[i] = c.SnapBytes
+			restorers[i] = c.RestoreBytes
 		case Pipe:
 			cliEnd, srvEnd := net.Pipe()
 			h.wg.Add(1)
@@ -102,16 +110,27 @@ func NewHarness(cfg HarnessConfig) (*Cluster, error) {
 				defer h.wg.Done()
 				h.srvErrs[i] = proto.ServeConn(conn, h.caches[i])
 			}(i, srvEnd)
-			h.conns[i] = proto.NewClient(cliEnd)
+			cli := proto.NewClient(cliEnd)
+			h.conns[i] = cli
+			// Catch-up rides the same connection as the data path; the
+			// router only transfers at window boundaries, after
+			// flushAll, so the chunked exchange never meets a pipeline.
+			snapshotters[i] = cli.SnapRange
+			restorers[i] = cli.Restore
 		}
 	}
+	if cfg.NoCatchup {
+		snapshotters, restorers = nil, nil
+	}
 	h.client, err = NewClient(ClientConfig{
-		Ring:      ring,
-		Conns:     h.conns,
-		Resetters: resetters,
-		Manager:   cfg.Manager,
-		Window:    cfg.Window,
-		Pipeline:  cfg.Pipeline,
+		Ring:         ring,
+		Conns:        h.conns,
+		Resetters:    resetters,
+		Snapshotters: snapshotters,
+		Restorers:    restorers,
+		Manager:      cfg.Manager,
+		Window:       cfg.Window,
+		Pipeline:     cfg.Pipeline,
 	})
 	if err != nil {
 		return nil, err
@@ -157,7 +176,7 @@ func (h *Cluster) Close() error {
 // deterministic primary view (replica reads land in the probe section,
 // not the per-set counters).
 func (h *Cluster) MergedSnapshot() live.StatsPayload {
-	p := h.caches[0].Snapshot()
+	p := h.caches[0].StatsSnapshot()
 	var merged live.Stats
 	for s := 0; s < h.ring.Shards(); s++ {
 		lo, hi := h.ring.SetRange(s)

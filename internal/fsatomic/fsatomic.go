@@ -1,0 +1,54 @@
+// Package fsatomic is the one home of the repo's atomic file-write
+// idiom: write to a unique temp file in the destination directory,
+// then rename into place. A killed or failed writer leaves either the
+// old file, the new file, or a stray temp — never a torn destination
+// that parses. It backs the runner's result cache, the file-backed
+// live store, and the snapshot subsystem.
+package fsatomic
+
+import "os"
+
+// WriteFile atomically replaces path with data. The temp file is
+// created in path's directory (rename is only atomic within one
+// filesystem) with a unique ".tmp-*" name, so concurrent writers never
+// collide; on any failure the temp file is removed and the destination
+// is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := parentDir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Chmod(perm); werr == nil {
+		werr = cerr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// parentDir returns the directory holding path without pulling in
+// path/filepath: everything up to the final separator, or "." for a
+// bare name (os.CreateTemp maps "" to the system temp dir, which would
+// put the temp file on the wrong filesystem).
+func parentDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			if i == 0 {
+				return string(path[0])
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

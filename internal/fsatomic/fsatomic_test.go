@@ -1,0 +1,116 @@
+package fsatomic
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func listTemps(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	return m
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+	want := []byte("hello\x00world")
+	if err := WriteFile(p, want, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after success: %v", temps)
+	}
+}
+
+func TestWriteFileOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+	if err := WriteFile(p, []byte("old"), 0o644); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := WriteFile(p, []byte("new"), 0o644); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestWriteFileEmptyData(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "empty")
+	if err := WriteFile(p, nil, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("size = %d, want 0", fi.Size())
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "no", "such", "dir", "out")
+	if err := WriteFile(p, []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+func TestWriteFileTargetIsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "sub")
+	if err := os.Mkdir(p, 0o755); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if err := WriteFile(p, []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile over a directory succeeded")
+	}
+	// The failed rename must not leave its temp file behind.
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after failed rename: %v", temps)
+	}
+	// And the destination directory is untouched.
+	fi, err := os.Stat(p)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("destination damaged: fi=%v err=%v", fi, err)
+	}
+}
+
+func TestWriteFileBareName(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("Getwd: %v", err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatalf("Chdir: %v", err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFile("bare.bin", []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "bare.bin"))
+	if err != nil || string(got) != "x" {
+		t.Fatalf("bare-name write landed wrong: %q %v", got, err)
+	}
+}

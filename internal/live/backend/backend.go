@@ -18,8 +18,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 
+	"rwp/internal/fsatomic"
 	"rwp/internal/live"
 )
 
@@ -72,13 +72,13 @@ func (s *Map) Len() int {
 func (s *Map) Loader() live.Loader { return s.Get }
 
 // File is a file-backed store: one file per key under a directory.
-// Writes are atomic (write to a temp file, then rename), so a
-// concurrent Loader read sees either the old or the new value, never a
-// torn one. No lock is held across filesystem calls: each writer uses
-// a unique temp name, and rename/remove are atomic on their own.
+// Writes are atomic (fsatomic.WriteFile: unique temp file, then
+// rename), so a concurrent Loader read sees either the old or the new
+// value, never a torn one. No lock is held across filesystem calls:
+// temp names are unique per writer, and rename/remove are atomic on
+// their own.
 type File struct {
 	dir string
-	seq atomic.Uint64 // distinct temp names for concurrent writers
 }
 
 // maxFileKey bounds the key length the file store accepts: the hex
@@ -110,11 +110,7 @@ func (s *File) Put(key string, val []byte) error {
 	if err != nil {
 		return err
 	}
-	tmp := fmt.Sprintf("%s.%d.tmp", p, s.seq.Add(1))
-	if err := os.WriteFile(tmp, val, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, p)
+	return fsatomic.WriteFile(p, val, 0o644)
 }
 
 // Get returns key's value, or nil when absent. Unexpected filesystem

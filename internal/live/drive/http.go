@@ -11,11 +11,21 @@ import (
 	"rwp/internal/live/loadgen"
 )
 
+// Backend is the operation surface Handler serves — *live.Cache
+// directly, or a wrapper that forwards to one (rwpserve's
+// checkpointing snapshot wrapper). It is the same shape as
+// proto.Backend, so one wrapper covers both transports.
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte) bool
+	StatsJSON() ([]byte, error)
+}
+
 // Handler wires the cache's HTTP surface: /get, /put, /stats. This is
 // the exact handler rwpserve serves; the HTTP target wraps it around a
 // loopback listener so driving "http" exercises the same code an
 // external client hits.
-func Handler(c *live.Cache) http.Handler {
+func Handler(c Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
 		key := r.URL.Query().Get("key")

@@ -173,12 +173,37 @@ type lset struct {
 	validCount int
 	dirtyCount int
 	ops        Counters
+	// splits are the partition-attribution counters (hit splits by the
+	// line's dirty bit, bypass splits by access class). They exist so a
+	// snapshot restore can rebuild the probe recorders exactly, and are
+	// maintained unconditionally — like ops, they are cumulative
+	// history: ResetRange preserves them, ResetStats clears them.
+	splits splitCounters
 	// costs is the set's service-cost histogram (one observation per
 	// completed Get/Put). Per-set — not per-shard — so StatsRange can
 	// attribute costs to ring-shard set ranges and the cluster's merged
 	// document stays exact. Like ops, it is cumulative history:
 	// ResetRange preserves it, ResetStats clears it.
 	costs probe.CostHist
+	// costsClean and costsDirty split costs by the partition that
+	// served or received the op's line: a Get hit goes by the entry's
+	// dirty bit, every other Get (miss, loader fill, race) is clean
+	// service — a read miss is or would be a clean fill — and every Put
+	// is dirty service, since a write dirties the line. The three
+	// histograms conserve: costs == costsClean + costsDirty.
+	costsClean probe.CostHist
+	costsDirty probe.CostHist
+}
+
+// splitCounters refine the Counters hit/bypass totals by partition.
+// Each pair sums to its Counters total (GetHits, PutHits, Bypasses).
+type splitCounters struct {
+	GetHitsClean uint64 // Get hits on a clean line
+	GetHitsDirty uint64 // Get hits on a dirty line
+	PutHitsClean uint64 // Put overwrites of a clean line (pre-write state)
+	PutHitsDirty uint64 // Put overwrites of an already-dirty line
+	BypassLoads  uint64 // bypassed read-allocate fills
+	BypassStores uint64 // bypassed write-allocate fills
 }
 
 // NumSets implements cache.StateReader.
@@ -349,10 +374,20 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 	if way := ls.find(key); way >= 0 {
 		e := &ls.entries[way]
 		ls.ops.GetHits++
+		if e.dirty {
+			ls.splits.GetHitsDirty++
+		} else {
+			ls.splits.GetHitsClean++
+		}
 		if sh.rec != nil {
 			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Load, Hit: true, LineDirty: e.dirty})
 		}
 		ls.costs.Observe(CostHit)
+		if e.dirty {
+			ls.costsDirty.Observe(CostHit)
+		} else {
+			ls.costsClean.Observe(CostHit)
+		}
 		ls.pol.OnHit(0, way, ai)
 		// Copy while the entry is stable, then release before returning:
 		// the caller must never see bytes a later Put could overwrite.
@@ -368,6 +403,7 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 	}
 	if c.cfg.Loader == nil {
 		ls.costs.Observe(CostMiss)
+		ls.costsClean.Observe(CostMiss)
 		sh.mu.Unlock()
 		c.logGet(key, set, probe.OutcomeMiss, CostMiss)
 		return nil, false
@@ -385,6 +421,7 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		// round trip alone — no fill, no eviction.
 		ls.ops.LoadRaces++
 		ls.costs.Observe(CostMiss)
+		ls.costsClean.Observe(CostMiss)
 		sh.mu.Unlock()
 		c.logGet(key, set, probe.OutcomeFill, CostMiss)
 		return v, false
@@ -395,6 +432,7 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		cost += CostDirtyEvict
 	}
 	ls.costs.Observe(cost)
+	ls.costsClean.Observe(cost)
 	sh.mu.Unlock()
 	c.logGet(key, set, probe.OutcomeFill, cost)
 	// No defensive copy on the way out: the Loader handed us a fresh
@@ -431,6 +469,11 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 	if way := ls.find(key); way >= 0 {
 		e := &ls.entries[way]
 		ls.ops.PutHits++
+		if e.dirty {
+			ls.splits.PutHitsDirty++
+		} else {
+			ls.splits.PutHitsClean++
+		}
 		if sh.rec != nil {
 			sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Store, Hit: true, LineDirty: e.dirty})
 		}
@@ -440,6 +483,7 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 		}
 		e.val = append(e.val[:0], val...)
 		ls.costs.Observe(CostHit)
+		ls.costsDirty.Observe(CostHit)
 		ls.pol.OnHit(0, way, ai)
 		sh.mu.Unlock()
 		c.logPut(key, val, set, probe.OutcomeOverwrite, CostHit)
@@ -454,6 +498,7 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 		cost += CostDirtyEvict
 	}
 	ls.costs.Observe(cost)
+	ls.costsDirty.Observe(cost)
 	sh.mu.Unlock()
 	c.logPut(key, val, set, probe.OutcomeInsert, cost)
 	return true
@@ -473,6 +518,11 @@ func (ls *lset) fill(sh *shard, key string, line mem.LineAddr, val []byte, ai ca
 		// Neither LRU nor RWP ever bypasses; kept for policy-interface
 		// completeness.
 		ls.ops.Bypasses++
+		if dirty {
+			ls.splits.BypassStores++
+		} else {
+			ls.splits.BypassLoads++
+		}
 		if sh.rec != nil {
 			sh.rec.CacheBypass(probe.BypassEvent{Level: LevelName, Class: probe.Class(ai.Class)})
 		}

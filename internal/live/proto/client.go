@@ -3,6 +3,7 @@ package proto
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 )
 
@@ -81,6 +82,7 @@ type Reply struct {
 	Gets     []GetResult // OpMGet, in request order
 	Inserts  []bool      // OpMPut, in request order
 	Data     []byte      // OpStats (JSON document) / OpPing (echo)
+	Purged   int         // OpReset: entries dropped by the range reset
 }
 
 // queue frames one request. A write failure (the buffered writer only
@@ -135,6 +137,15 @@ func (c *Client) QueueMPut(kvs []KV) error {
 		return err
 	}
 	return c.queue(OpMPut, p)
+}
+
+// QueueReset pipelines a RESET of the global sets [lo, hi).
+func (c *Client) QueueReset(lo, hi int) error {
+	p, err := AppendRangeReq(nil, lo, hi)
+	if err != nil {
+		return err
+	}
+	return c.queue(OpReset, p)
 }
 
 // QueueStats pipelines a STATS request.
@@ -200,6 +211,8 @@ func (c *Client) Flush() ([]Reply, error) {
 			rep.Inserts, err = ParseMPutResp(payload)
 		case OpStats, OpPing:
 			rep.Data = cloneBytes(payload)
+		case OpReset:
+			rep.Purged, err = ParseResetResp(payload)
 		}
 		if err != nil {
 			return replies, c.fail(err)
@@ -283,4 +296,126 @@ func (c *Client) Ping(payload []byte) ([]byte, error) {
 	}
 	rep, err := c.flushOne()
 	return rep.Data, err
+}
+
+// ResetRange purges the remote cache's global sets [lo, hi), returning
+// the number of entries dropped. The signature matches
+// live.Cache.ResetRange's error-free shape plus the transport error, so
+// the cluster layer can use either as a node's Resetter.
+func (c *Client) ResetRange(lo, hi int) (int, error) {
+	if err := c.QueueReset(lo, hi); err != nil {
+		return 0, err
+	}
+	rep, err := c.flushOne()
+	return rep.Purged, err
+}
+
+// needEmptyPipeline gates the chunked transfers: their multi-frame
+// exchanges cannot interleave with the one-reply-per-request pipeline.
+func (c *Client) needEmptyPipeline(op Op) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if len(c.pending) != 0 {
+		return wireErrf(ErrOp, "%v requires an empty pipeline (%d requests queued)", op, len(c.pending))
+	}
+	return nil
+}
+
+// SnapRange fetches a state snapshot of the remote cache's global sets
+// [lo, hi), reassembled from the server's chunked SNAP frames. A
+// server-side refusal (bad range, unsupported backend) returns an error
+// but leaves the connection usable; only transport failures poison the
+// client.
+func (c *Client) SnapRange(lo, hi int) ([]byte, error) {
+	if err := c.needEmptyPipeline(OpSnap); err != nil {
+		return nil, err
+	}
+	p, err := AppendRangeReq(nil, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.bw.Write(AppendFrame(nil, OpSnap, p)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	var data []byte
+	for {
+		op, payload, err := c.r.ReadFrame()
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		if op == OpErr {
+			return nil, c.fail(wireErrf(ErrPayload, "server error: %s", payload))
+		}
+		if op != OpSnap {
+			return nil, c.fail(wireErrf(ErrOp, "reply op %v for SNAP request", op))
+		}
+		flag, chunk, err := ParseChunk(payload)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		if flag == ChunkErr {
+			return nil, fmt.Errorf("proto: snap refused: %s", chunk)
+		}
+		if len(data)+len(chunk) > MaxSnapshot {
+			return nil, c.fail(wireErrf(ErrTooLarge, "snapshot exceeds max %d", MaxSnapshot))
+		}
+		data = append(data, chunk...)
+		if flag == ChunkLast {
+			return data, nil
+		}
+	}
+}
+
+// Restore streams a state snapshot to the remote cache in chunked
+// RESTORE frames and applies it with catch-up semantics, returning the
+// number of previously-resident entries dropped. A refusal (corrupt or
+// mismatched snapshot) returns an error with the remote cache untouched
+// and the connection usable.
+func (c *Client) Restore(data []byte) (int, error) {
+	if err := c.needEmptyPipeline(OpRestore); err != nil {
+		return 0, err
+	}
+	if len(data) > MaxSnapshot {
+		return 0, wireErrf(ErrTooLarge, "snapshot %d bytes > max %d", len(data), MaxSnapshot)
+	}
+	for off := 0; ; off += SnapChunk {
+		end, flag := off+SnapChunk, byte(ChunkMore)
+		if end >= len(data) {
+			end, flag = len(data), ChunkLast
+		}
+		if _, err := c.bw.Write(AppendFrame(nil, OpRestore, AppendChunk(nil, flag, data[off:end]))); err != nil {
+			return 0, c.fail(err)
+		}
+		// Flush per chunk: the server replies only after the last one,
+		// so bounding the in-flight bytes costs nothing and keeps large
+		// transfers from overrunning the write buffer in one burst.
+		if err := c.bw.Flush(); err != nil {
+			return 0, c.fail(err)
+		}
+		if flag == ChunkLast {
+			break
+		}
+	}
+	op, payload, err := c.r.ReadFrame()
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	if op == OpErr {
+		return 0, c.fail(wireErrf(ErrPayload, "server error: %s", payload))
+	}
+	if op != OpRestore {
+		return 0, c.fail(wireErrf(ErrOp, "reply op %v for RESTORE request", op))
+	}
+	purged, refusal, err := ParseRestoreResp(payload)
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	if refusal != "" {
+		return 0, fmt.Errorf("proto: restore refused: %s", refusal)
+	}
+	return purged, nil
 }

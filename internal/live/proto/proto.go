@@ -62,6 +62,12 @@ const (
 	OpStats Op = 5 // no payload → the /stats JSON document
 	OpPing  Op = 6 // payload echoed back verbatim
 	OpErr   Op = 7 // response-only: error message, connection closes
+
+	// Range-management ops (see range.go). They serve the cluster
+	// manager and warm-restart tooling, not the data path.
+	OpReset   Op = 8  // set range → entries purged
+	OpSnap    Op = 9  // set range → snapshot bytes, chunked across frames
+	OpRestore Op = 10 // snapshot bytes, chunked across frames → entries purged
 )
 
 // String names the opcode for diagnostics.
@@ -81,12 +87,18 @@ func (o Op) String() string {
 		return "PING"
 	case OpErr:
 		return "ERR"
+	case OpReset:
+		return "RESET"
+	case OpSnap:
+		return "SNAP"
+	case OpRestore:
+		return "RESTORE"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
 
 // Valid reports whether o is an opcode a conforming peer may send.
-func (o Op) Valid() bool { return o >= OpGet && o <= OpErr }
+func (o Op) Valid() bool { return o >= OpGet && o <= OpRestore }
 
 // Wire-format constants. The limits bound the memory any single frame
 // can make a reader allocate; the Append* payload builders enforce
@@ -105,6 +117,13 @@ const (
 	MaxValue = 1 << 20
 	// MaxBatch caps the element count of an MGET/MPUT frame.
 	MaxBatch = 1 << 16
+
+	// SnapChunk is the snapshot bytes carried per SNAP/RESTORE frame —
+	// comfortably under MaxPayload so the flag byte and framing fit.
+	SnapChunk = 1 << 20
+	// MaxSnapshot caps the reassembled size of a chunked snapshot on
+	// both sides, bounding what one transfer can make a peer hold.
+	MaxSnapshot = 64 << 20
 
 	// headerSize is the fixed prefix before the length uvarint.
 	headerSize = 4

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 )
@@ -25,6 +26,26 @@ type Backend interface {
 	StatsJSON() ([]byte, error)
 }
 
+// RangeBackend is the optional management surface behind the RESET,
+// SNAP, and RESTORE ops. *live.Cache satisfies it directly; ServeConn
+// discovers it by type assertion, so a minimal Backend (a test double,
+// a proxy) still serves the data path and refuses management ops
+// cleanly.
+type RangeBackend interface {
+	Backend
+	// Sets returns the global set count, bounding every range request.
+	Sets() int
+	// ResetRange purges the sets in [lo, hi), returning entries purged.
+	// The range is pre-validated against Sets by the server loop.
+	ResetRange(lo, hi int) int
+	// SnapBytes encodes a state snapshot of the sets in [lo, hi).
+	SnapBytes(lo, hi int) ([]byte, error)
+	// RestoreBytes decodes and applies a snapshot with catch-up
+	// (RestoreRange) semantics, returning entries purged. A rejected
+	// snapshot must leave the cache untouched.
+	RestoreBytes(data []byte) (int, error)
+}
+
 // ServeConn runs the pipelined request loop for one connection until
 // the peer closes it (clean: returns nil) or violates the protocol
 // (writes one ERR frame with the reason, then returns the error — the
@@ -39,6 +60,8 @@ func ServeConn(conn io.ReadWriter, b Backend) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	r := NewReader(br)
+	rb, _ := b.(RangeBackend) // nil: management ops are refused
+	var restoreBuf []byte     // RESTORE chunks accumulated so far
 	var payload, frame []byte // response scratch, reused across requests
 	for {
 		// Flush before a read that would block: everything the peer
@@ -120,6 +143,49 @@ func ServeConn(conn io.ReadWriter, b Backend) error {
 			payload = append(payload, doc...)
 		case OpPing:
 			payload = append(payload, req...)
+		case OpReset:
+			lo, hi, perr := ParseRangeReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			if rb == nil {
+				return refuse(bw, wireErrf(ErrOp, "backend does not support RESET"))
+			}
+			if hi > rb.Sets() {
+				return refuse(bw, wireErrf(ErrPayload, "reset range [%d,%d) out of bounds (sets %d)", lo, hi, rb.Sets()))
+			}
+			payload = AppendResetResp(payload, rb.ResetRange(lo, hi))
+		case OpSnap:
+			// Chunked response: write the frames here and skip the
+			// single-frame tail. Refusals travel as a ChunkErr frame, not
+			// an ERR frame — the connection stays usable so the caller
+			// (cluster catch-up) can fall back to RESET on it.
+			lo, hi, perr := ParseRangeReq(req)
+			if perr != nil {
+				return refuse(bw, perr)
+			}
+			if err := writeSnapFrames(bw, rb, lo, hi); err != nil {
+				return err
+			}
+			continue
+		case OpRestore:
+			flag, chunk, perr := ParseChunk(req)
+			if perr != nil || flag == ChunkErr {
+				if perr == nil {
+					perr = wireErrf(ErrPayload, "restore chunk with error flag")
+				}
+				return refuse(bw, perr)
+			}
+			if len(restoreBuf)+len(chunk) > MaxSnapshot {
+				return refuse(bw, wireErrf(ErrTooLarge, "restore exceeds max snapshot %d", MaxSnapshot))
+			}
+			restoreBuf = append(restoreBuf, chunk...)
+			if flag == ChunkMore {
+				continue // reply comes after the last chunk
+			}
+			data := restoreBuf
+			restoreBuf = nil
+			payload = appendRestoreOutcome(payload, rb, data)
 		default: // OpErr from a peer is itself a protocol violation
 			return refuse(bw, wireErrf(ErrOp, "unexpected %v request", op))
 		}
@@ -128,6 +194,59 @@ func ServeConn(conn io.ReadWriter, b Backend) error {
 			return err
 		}
 	}
+}
+
+// writeSnapFrames answers one SNAP request: the snapshot bytes chunked
+// into SnapChunk-sized frames, or a single ChunkErr frame carrying the
+// refusal. Only transport failures are returned — a refused snapshot is
+// the peer's problem, not the connection's.
+func writeSnapFrames(bw *bufio.Writer, rb RangeBackend, lo, hi int) error {
+	refusal := ""
+	var data []byte
+	switch {
+	case rb == nil:
+		refusal = "backend does not support SNAP"
+	case hi > rb.Sets():
+		refusal = fmt.Sprintf("snap range [%d,%d) out of bounds (sets %d)", lo, hi, rb.Sets())
+	default:
+		var err error
+		if data, err = rb.SnapBytes(lo, hi); err != nil {
+			refusal = err.Error()
+		} else if len(data) > MaxSnapshot {
+			refusal = fmt.Sprintf("snapshot %d bytes > max %d", len(data), MaxSnapshot)
+		}
+	}
+	if refusal != "" {
+		_, err := bw.Write(AppendFrame(nil, OpSnap, AppendChunk(nil, ChunkErr, []byte(refusal))))
+		return err
+	}
+	for off := 0; ; off += SnapChunk {
+		end, flag := off+SnapChunk, byte(ChunkMore)
+		if end >= len(data) {
+			end, flag = len(data), ChunkLast
+		}
+		if _, err := bw.Write(AppendFrame(nil, OpSnap, AppendChunk(nil, flag, data[off:end]))); err != nil {
+			return err
+		}
+		if flag == ChunkLast {
+			return nil
+		}
+	}
+}
+
+// appendRestoreOutcome applies a fully reassembled RESTORE transfer and
+// encodes the outcome. A decode/validation failure is a refusal, not a
+// wire error: the backend guarantees the cache is untouched, and the
+// connection stays usable.
+func appendRestoreOutcome(payload []byte, rb RangeBackend, data []byte) []byte {
+	if rb == nil {
+		return AppendRestoreResp(payload, 0, "backend does not support RESTORE")
+	}
+	purged, err := rb.RestoreBytes(data)
+	if err != nil {
+		return AppendRestoreResp(payload, 0, err.Error())
+	}
+	return AppendRestoreResp(payload, purged, "")
 }
 
 // backendGet maps the cache's (val, hit) pair onto the wire status.

@@ -1,0 +1,374 @@
+package live
+
+import (
+	"fmt"
+
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+	"rwp/internal/policy"
+	"rwp/internal/probe"
+	"rwp/internal/recency"
+	"rwp/internal/snap"
+)
+
+// This file is the live cache's half of the warm-restart subsystem
+// (internal/snap holds the format). Two restore semantics exist on
+// purpose:
+//
+//   - RestoreSnapshot is the full warm restart: entries, policy state,
+//     op/cost counters, and a probe-recorder rebuild, so the restored
+//     server's /stats document and all future behavior are
+//     byte-identical to a never-restarted run.
+//   - RestoreRange is cluster replica catch-up: entries and policy
+//     state only, for the snapshot's set range. The target node keeps
+//     its own counters — they are its cumulative history, and the
+//     cluster's merged document sums every node's counters, so copying
+//     the primary's would double-count.
+//
+// Restores validate the whole snapshot against the cache geometry
+// before mutating anything, so a rejected snapshot leaves the cache
+// exactly as it was — never partially restored.
+//
+// Why the format can omit way indices: every fill (LRU's and RWP's
+// Victim alike) takes the lowest invalid way first, so a set holding K
+// entries has exactly ways 0..K-1 valid, and restore can replay the
+// recorded MRU→LRU entries as OnFill calls into ways 0..K-1 (LRU
+// first). OnFill bypasses the policy's observe() — the interval clock
+// and sampler state transfer via core.State instead — and the fill
+// class (DemandStore for dirty entries) reproduces RWP's written bits,
+// which the live cache keeps equal to the entry dirty bits.
+
+// Sets returns the global set count (part of proto.RangeBackend).
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Snapshot captures the whole cache as a restorable state snapshot.
+// (The stats document is StatsSnapshot.)
+func (c *Cache) Snapshot() *snap.Snapshot { return c.SnapshotRange(0, c.cfg.Sets) }
+
+// SnapshotRange captures the global sets [lo, hi). It locks one shard
+// at a time; under concurrent load the snapshot is a consistent
+// per-set composite, not a global atomic point. It panics if the range
+// is out of bounds, like StatsRange.
+func (c *Cache) SnapshotRange(lo, hi int) *snap.Snapshot {
+	if lo < 0 || hi > c.cfg.Sets || lo > hi {
+		panic("live: SnapshotRange out of bounds")
+	}
+	s := &snap.Snapshot{
+		Policy: c.cfg.Policy,
+		Sets:   c.cfg.Sets,
+		Ways:   c.cfg.Ways,
+		RWP:    c.cfg.RWP,
+		Lo:     lo,
+		Hi:     hi,
+	}
+	if hi > lo {
+		s.Records = make([]snap.SetRecord, 0, hi-lo)
+	}
+	// Shards are contiguous ascending set ranges, so this emits records
+	// in ascending global-set order — the canonical record order.
+	for si, sh := range c.shards {
+		base := si * c.perShard
+		if base+c.perShard <= lo || base >= hi {
+			continue
+		}
+		sh.mu.Lock()
+		for i := range sh.sets {
+			if g := base + i; g >= lo && g < hi {
+				s.Records = append(s.Records, snapSet(g, &sh.sets[i]))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// snapSet captures one set under its shard lock.
+func snapSet(g int, ls *lset) snap.SetRecord {
+	r := snap.SetRecord{
+		Set:        g,
+		Ops:        opsToSnap(ls),
+		Costs:      cloneHist(ls.costs),
+		CostsClean: cloneHist(ls.costsClean),
+		CostsDirty: cloneHist(ls.costsDirty),
+	}
+	tab := ls.recencyOrder()
+	for pos := 0; pos < len(ls.entries); pos++ {
+		way := tab.At(0, pos)
+		e := &ls.entries[way]
+		if !e.valid {
+			// Invalid ways sit together at the recency bottom; nothing
+			// valid follows.
+			break
+		}
+		r.Entries = append(r.Entries, snap.Entry{
+			Key:   e.key,
+			Value: append([]byte(nil), e.val...),
+			Dirty: e.dirty,
+		})
+	}
+	if ls.rwp != nil {
+		st := ls.rwp.ExportState()
+		r.RWP = &st
+	}
+	return r
+}
+
+// recencyOrder exposes the set's recency table for snapshot iteration.
+func (ls *lset) recencyOrder() *recency.Table {
+	if ls.rwp != nil {
+		return ls.rwp.Recency()
+	}
+	return ls.pol.(*policy.LRU).Recency()
+}
+
+func cloneHist(h probe.CostHist) probe.CostHist {
+	var o probe.CostHist
+	o.Add(h)
+	return o
+}
+
+// RestoreSnapshot performs a full warm restart from a whole-cache
+// snapshot: entries, policy state, counters, cost histograms, and a
+// probe-recorder rebuild. The snapshot must cover [0, Sets) and match
+// the cache's policy, geometry, and RWP configuration exactly —
+// restart equivalence is only meaningful against the same
+// configuration. On error the cache is untouched.
+func (c *Cache) RestoreSnapshot(s *snap.Snapshot) error {
+	if s.Lo != 0 || s.Hi != c.cfg.Sets {
+		return fmt.Errorf("live: restore covers sets [%d,%d), want the whole cache [0,%d)", s.Lo, s.Hi, c.cfg.Sets)
+	}
+	if err := c.checkSnapshot(s); err != nil {
+		return err
+	}
+	c.applyRange(s, true)
+	c.rebuildRecorders()
+	return nil
+}
+
+// RestoreRange installs a snapshot's entries and policy state for its
+// set range [s.Lo, s.Hi), preserving this cache's own counters and
+// cost histograms — the cluster catch-up semantics (ResetRange with
+// the primary's warm state instead of cold sets). It returns the
+// number of previously-resident entries dropped. On error the cache is
+// untouched.
+func (c *Cache) RestoreRange(s *snap.Snapshot) (purged int, err error) {
+	if err := c.checkSnapshot(s); err != nil {
+		return 0, err
+	}
+	return c.applyRange(s, false), nil
+}
+
+// checkSnapshot validates s against this cache completely — config
+// match, record coverage, per-set entry counts, key-to-set hashing,
+// key uniqueness, RWP state shape — before any mutation. snap.Decode
+// already enforces the self-contained invariants for snapshots read
+// from bytes; in-memory snapshots get the same scrutiny here.
+func (c *Cache) checkSnapshot(s *snap.Snapshot) error {
+	if s.Policy != c.cfg.Policy || s.Sets != c.cfg.Sets || s.Ways != c.cfg.Ways {
+		return fmt.Errorf("live: snapshot of %s %dx%d does not match cache %s %dx%d",
+			s.Policy, s.Sets, s.Ways, c.cfg.Policy, c.cfg.Sets, c.cfg.Ways)
+	}
+	if s.Policy == "rwp" && s.RWP != c.cfg.RWP {
+		return fmt.Errorf("live: snapshot RWP config %+v does not match cache %+v", s.RWP, c.cfg.RWP)
+	}
+	if s.Lo < 0 || s.Hi > c.cfg.Sets || s.Lo > s.Hi {
+		return fmt.Errorf("live: snapshot range [%d,%d) out of bounds", s.Lo, s.Hi)
+	}
+	if len(s.Records) != s.Hi-s.Lo {
+		return fmt.Errorf("live: snapshot has %d records for range [%d,%d)", len(s.Records), s.Lo, s.Hi)
+	}
+	for i := range s.Records {
+		r := &s.Records[i]
+		if r.Set != s.Lo+i {
+			return fmt.Errorf("live: snapshot record %d is set %d, want %d", i, r.Set, s.Lo+i)
+		}
+		if len(r.Entries) > c.cfg.Ways {
+			return fmt.Errorf("live: set %d holds %d entries, cache has %d ways", r.Set, len(r.Entries), c.cfg.Ways)
+		}
+		for j := range r.Entries {
+			e := &r.Entries[j]
+			if g := int(HashKey(e.Key) & c.mask); g != r.Set {
+				return fmt.Errorf("live: key %q hashes to set %d but was recorded in set %d", e.Key, g, r.Set)
+			}
+			for k := 0; k < j; k++ {
+				if r.Entries[k].Key == e.Key {
+					return fmt.Errorf("live: duplicate key %q in set %d", e.Key, r.Set)
+				}
+			}
+		}
+		if (r.RWP != nil) != (c.cfg.Policy == "rwp") {
+			return fmt.Errorf("live: set %d policy state does not match policy %q", r.Set, c.cfg.Policy)
+		}
+		if r.RWP != nil {
+			// Per-set policies always have exactly one sampler.
+			if err := r.RWP.Validate(c.cfg.Ways, 1); err != nil {
+				return fmt.Errorf("live: set %d: %w", r.Set, err)
+			}
+		}
+	}
+	return nil
+}
+
+// applyRange installs the (pre-validated) snapshot records. full also
+// restores counters and cost histograms; catch-up keeps the target's.
+// Infallible by construction: every failure mode was checked.
+func (c *Cache) applyRange(s *snap.Snapshot, full bool) (purged int) {
+	for si, sh := range c.shards {
+		base := si * c.perShard
+		if base+c.perShard <= s.Lo || base >= s.Hi {
+			continue
+		}
+		sh.mu.Lock()
+		for i := range sh.sets {
+			if g := base + i; g >= s.Lo && g < s.Hi {
+				ls := &sh.sets[i]
+				purged += ls.validCount
+				restoreSet(ls, c.cfg, sh.rec, &s.Records[g-s.Lo], full)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return purged
+}
+
+// restoreSet rebuilds one set from its record: a fresh policy (wired
+// to the shard's current recorder), then the recorded entries replayed
+// as fills LRU-first into ways 0..K-1, then the policy state.
+func restoreSet(ls *lset, cfg Config, rec *probe.Recorder, r *snap.SetRecord, full bool) {
+	initSet(ls, cfg, rec)
+	n := len(r.Entries)
+	for i := n - 1; i >= 0; i-- {
+		way := n - 1 - i
+		e := &r.Entries[i]
+		h := HashKey(e.Key)
+		ls.entries[way] = entry{
+			key:   e.Key,
+			val:   append([]byte(nil), e.Value...),
+			line:  mem.LineAddr(h),
+			valid: true,
+			dirty: e.Dirty,
+		}
+		ls.validCount++
+		class := cache.DemandLoad
+		if e.Dirty {
+			ls.dirtyCount++
+			class = cache.DemandStore
+		}
+		// OnFill, not fill(): policy bookkeeping (recency touch, RWP
+		// written bits) without advancing the interval clock, emitting
+		// probe events, or counting ops — those all transfer as state.
+		ls.pol.OnFill(0, way, cache.AccessInfo{Line: mem.LineAddr(h), Class: class})
+	}
+	if ls.rwp != nil {
+		if err := ls.rwp.RestoreState(*r.RWP); err != nil {
+			// checkSnapshot validated this exact state; failing here is
+			// a programming error, not an input condition.
+			panic("live: pre-validated RWP state rejected: " + err.Error())
+		}
+	}
+	if full {
+		ls.ops = opsFromSnap(&r.Ops)
+		ls.splits = splitsFromSnap(&r.Ops)
+		ls.costs = cloneHist(r.Costs)
+		ls.costsClean = cloneHist(r.CostsClean)
+		ls.costsDirty = cloneHist(r.CostsDirty)
+	}
+}
+
+// rebuildRecorders reconstructs each shard's probe recorder from the
+// restored per-set counters. The mapping inverts exactly what the
+// Get/Put/fill paths emit: every Get is a Load access (hits split by
+// the line's dirty bit, fills are the Loader installs, all clean);
+// every Put is a Store access (fills are the write-allocates:
+// Fills-Loads, all dirty fills are Puts); evictions split by victim
+// dirty bit. Retarget event sequences are not reconstructable (they
+// are an event log, not a sum) and no stats document reads them; see
+// DESIGN.md §15.
+func (c *Cache) rebuildRecorders() {
+	if !c.cfg.Record {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		rec := probe.NewRecorder(0)
+		for i := range sh.sets {
+			ls := &sh.sets[i]
+			load := &rec.Classes[probe.Load]
+			load.Accesses += ls.ops.Gets
+			load.Hits += ls.ops.GetHits
+			load.Misses += ls.ops.GetMisses
+			load.HitsClean += ls.splits.GetHitsClean
+			load.HitsDirty += ls.splits.GetHitsDirty
+			load.Fills += ls.ops.Loads
+			load.Bypasses += ls.splits.BypassLoads
+			store := &rec.Classes[probe.Store]
+			store.Accesses += ls.ops.Puts
+			store.Hits += ls.ops.PutHits
+			store.Misses += ls.ops.PutInserts
+			store.HitsClean += ls.splits.PutHitsClean
+			store.HitsDirty += ls.splits.PutHitsDirty
+			store.Fills += ls.ops.Fills - ls.ops.Loads
+			store.FillsDirty += ls.ops.FillsDirty
+			store.Bypasses += ls.splits.BypassStores
+			rec.EvictDirty += ls.ops.DirtyEvictions
+			rec.EvictClean += ls.ops.Evictions - ls.ops.DirtyEvictions
+			if ls.rwp != nil {
+				ls.rwp.SetProbe(rec)
+			}
+		}
+		sh.rec = rec
+		sh.mu.Unlock()
+	}
+}
+
+// SnapBytes encodes SnapshotRange for the wire (proto.RangeBackend);
+// out-of-bounds ranges error instead of panicking, since they arrive
+// from remote peers.
+func (c *Cache) SnapBytes(lo, hi int) ([]byte, error) {
+	if lo < 0 || hi > c.cfg.Sets || lo > hi {
+		return nil, fmt.Errorf("live: snapshot range [%d,%d) out of bounds (sets %d)", lo, hi, c.cfg.Sets)
+	}
+	return snap.Encode(c.SnapshotRange(lo, hi)), nil
+}
+
+// RestoreBytes decodes and applies a wire snapshot with RestoreRange
+// (catch-up) semantics, reporting entries purged.
+func (c *Cache) RestoreBytes(data []byte) (int, error) {
+	s, err := snap.Decode(data)
+	if err != nil {
+		return 0, err
+	}
+	return c.RestoreRange(s)
+}
+
+func opsToSnap(ls *lset) snap.Ops {
+	o, sp := ls.ops, ls.splits
+	return snap.Ops{
+		Gets: o.Gets, GetHits: o.GetHits, GetMisses: o.GetMisses,
+		Puts: o.Puts, PutHits: o.PutHits, PutInserts: o.PutInserts,
+		Loads: o.Loads, LoadRaces: o.LoadRaces,
+		Fills: o.Fills, FillsDirty: o.FillsDirty, Bypasses: o.Bypasses,
+		Evictions: o.Evictions, DirtyEvictions: o.DirtyEvictions,
+		GetHitsClean: sp.GetHitsClean, GetHitsDirty: sp.GetHitsDirty,
+		PutHitsClean: sp.PutHitsClean, PutHitsDirty: sp.PutHitsDirty,
+		BypassLoads: sp.BypassLoads, BypassStores: sp.BypassStores,
+	}
+}
+
+func opsFromSnap(o *snap.Ops) Counters {
+	return Counters{
+		Gets: o.Gets, GetHits: o.GetHits, GetMisses: o.GetMisses,
+		Puts: o.Puts, PutHits: o.PutHits, PutInserts: o.PutInserts,
+		Loads: o.Loads, LoadRaces: o.LoadRaces,
+		Fills: o.Fills, FillsDirty: o.FillsDirty, Bypasses: o.Bypasses,
+		Evictions: o.Evictions, DirtyEvictions: o.DirtyEvictions,
+	}
+}
+
+func splitsFromSnap(o *snap.Ops) splitCounters {
+	return splitCounters{
+		GetHitsClean: o.GetHitsClean, GetHitsDirty: o.GetHitsDirty,
+		PutHitsClean: o.PutHitsClean, PutHitsDirty: o.PutHitsDirty,
+		BypassLoads: o.BypassLoads, BypassStores: o.BypassStores,
+	}
+}

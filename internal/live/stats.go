@@ -70,6 +70,15 @@ type Stats struct {
 	// commutative, so it aggregates order-independently like every
 	// other field; percentiles come from probe.CostHist.Percentile.
 	CostHist probe.CostHist
+	// CostHistClean and CostHistDirty split CostHist by the partition
+	// that served or received each op: Get hits by the line's dirty
+	// bit, all other Gets clean (a read miss is or would be a clean
+	// fill), all Puts dirty (a write dirties the line). They conserve:
+	// CostHist == CostHistClean + CostHistDirty bucket-wise, which is
+	// what lets the restart benchmark show dirty-eviction cost recovery
+	// per partition.
+	CostHistClean probe.CostHist
+	CostHistDirty probe.CostHist
 }
 
 // Add accumulates o into s field by field. Every component is an
@@ -94,6 +103,8 @@ func (s *Stats) Add(o Stats) {
 	s.RetargetDown += o.RetargetDown
 	s.RetargetSame += o.RetargetSame
 	s.CostHist.Add(o.CostHist)
+	s.CostHistClean.Add(o.CostHistClean)
+	s.CostHistDirty.Add(o.CostHistDirty)
 }
 
 // addSet accumulates one set's counters and policy state into s.
@@ -111,6 +122,8 @@ func (s *Stats) addSet(ls *lset) {
 		s.RetargetSame += same
 	}
 	s.CostHist.Add(ls.costs)
+	s.CostHistClean.Add(ls.costsClean)
+	s.CostHistDirty.Add(ls.costsDirty)
 }
 
 // Stats aggregates the per-set counters and policy state. It locks one
@@ -199,7 +212,10 @@ func (c *Cache) ResetStats() {
 		sh.mu.Lock()
 		for i := range sh.sets {
 			sh.sets[i].ops = Counters{}
+			sh.sets[i].splits = splitCounters{}
 			sh.sets[i].costs.Reset()
+			sh.sets[i].costsClean.Reset()
+			sh.sets[i].costsDirty.Reset()
 		}
 		if sh.rec != nil {
 			rec := probe.NewRecorder(0)

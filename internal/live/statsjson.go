@@ -51,8 +51,9 @@ func NewProbeView(r *probe.Recorder) *ProbeView {
 	}
 }
 
-// Snapshot assembles the cache's stats document.
-func (c *Cache) Snapshot() StatsPayload {
+// StatsSnapshot assembles the cache's stats document. (The state
+// snapshot for warm restarts is Cache.Snapshot, in snapshot.go.)
+func (c *Cache) StatsSnapshot() StatsPayload {
 	return StatsPayload{
 		Policy:   c.cfg.Policy,
 		Sets:     c.cfg.Sets,
@@ -74,7 +75,7 @@ func WritePayload(w io.Writer, p StatsPayload) error {
 // the HTTP /stats body (it satisfies proto.Backend's StatsJSON).
 func (c *Cache) StatsJSON() ([]byte, error) {
 	var buf jsonBuffer
-	if err := WritePayload(&buf, c.Snapshot()); err != nil {
+	if err := WritePayload(&buf, c.StatsSnapshot()); err != nil {
 		return nil, err
 	}
 	return buf.b, nil

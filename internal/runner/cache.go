@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"rwp/internal/fsatomic"
 )
 
 // Cache is the content-addressed on-disk result store. An entry's file
@@ -95,21 +97,7 @@ func (c *Cache) Put(k Key, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding cache entry %s: %w", k, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("runner: cache write %s: %w", k, err)
-	}
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: cache write %s: %w", k, werr)
-	}
-	if err := os.Rename(tmp.Name(), c.Path(k)); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsatomic.WriteFile(c.Path(k), b, 0o644); err != nil {
 		return fmt.Errorf("runner: cache write %s: %w", k, err)
 	}
 	return nil

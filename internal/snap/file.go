@@ -1,0 +1,25 @@
+package snap
+
+import (
+	"os"
+
+	"rwp/internal/fsatomic"
+)
+
+// WriteFile encodes s and atomically writes it to path (unique temp
+// file + rename, like every durable artifact in this repo): a crash
+// mid-write leaves the previous snapshot intact, never a torn one.
+func WriteFile(path string, s *Snapshot) error {
+	return fsatomic.WriteFile(path, Encode(s), 0o644)
+}
+
+// ReadFile reads and fully validates the snapshot at path. The caller
+// treats any error — unreadable file, wrong schema, failed checksum,
+// structural defect — as "no snapshot" and starts cold.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

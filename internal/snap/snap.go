@@ -1,0 +1,601 @@
+// Package snap is the deterministic snapshot format for the live RWP
+// cache: schema rwp-snap-v1, a canonical binary encoding with a
+// CRC-32C trailer, written atomically (fsatomic). A snapshot is
+// set-indexed, never shard-indexed — it records, per global set, the
+// resident entries in recency order plus the owning per-set RWP
+// predictor state and op/cost counters — so restoring it into a cache
+// with any shard count reproduces the same /stats document and the
+// same future behavior as the never-restarted run.
+//
+// Way indices are deliberately absent from the format. Fills always
+// take the lowest invalid way, so a set holding K entries has exactly
+// ways 0..K-1 valid with the invalid tail at the recency bottom in
+// ascending order; replaying the recorded MRU→LRU entries as fills
+// into ways 0..K-1 reproduces an observationally identical set, and
+// makes re-snapshotting a restored cache a byte-exact fixed point.
+//
+// Decode validates everything it can see — schema, checksum, bounds,
+// ordering, counter conservation — before returning; geometry checks
+// that need the target cache (key-to-set hashing, config match) run in
+// live.RestoreSnapshot, also before any mutation. A corrupt snapshot
+// therefore never installs partial state anywhere.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"rwp/internal/core"
+	"rwp/internal/probe"
+)
+
+// Magic is the schema identifier leading every snapshot file.
+const Magic = "rwp-snap-v1\n"
+
+// Limits mirror the wire protocol's: a snapshot holds the same keys
+// and values the transport carries.
+const (
+	// MaxKey bounds one key's byte length.
+	MaxKey = 1 << 16
+	// MaxValue bounds one value's byte length.
+	MaxValue = 1 << 20
+	// MaxSets bounds the set count a decoder will believe.
+	MaxSets = 1 << 24
+	// MaxWays bounds associativity (recency tables hold way indices in
+	// a byte).
+	MaxWays = 256
+)
+
+// ErrSchema reports a file that is not an rwp-snap-v1 snapshot at all.
+var ErrSchema = errors.New("snap: unrecognized snapshot schema")
+
+// ErrCorrupt reports a snapshot that declares the right schema but
+// fails checksum or structural validation.
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// Snapshot is the decoded form: the cache geometry it was taken from
+// and one record per set in [Lo, Hi), ascending.
+type Snapshot struct {
+	// Policy is the replacement policy name ("lru" or "rwp").
+	Policy string
+	// Sets and Ways are the source cache's geometry.
+	Sets, Ways int
+	// RWP is the policy configuration (ignored for "lru").
+	RWP core.Config
+	// Lo, Hi delimit the covered global-set range [Lo, Hi).
+	Lo, Hi int
+	// Records holds exactly Hi-Lo set records; Records[i].Set == Lo+i.
+	Records []SetRecord
+}
+
+// SetRecord is one global set's full state.
+type SetRecord struct {
+	// Set is the global set index.
+	Set int
+	// Entries are the resident lines in recency order, MRU first.
+	Entries []Entry
+	// Ops are the set's cumulative operation counters.
+	Ops Ops
+	// Costs, CostsClean, CostsDirty are the set's service-cost
+	// histograms: total and the clean/dirty partition split.
+	Costs, CostsClean, CostsDirty probe.CostHist
+	// RWP is the set's policy state; nil for non-RWP policies.
+	RWP *core.State
+}
+
+// Entry is one resident line.
+type Entry struct {
+	Key   string
+	Value []byte
+	Dirty bool
+}
+
+// Ops mirrors the live cache's per-set counters plus the partition
+// split counters the probe-recorder rebuild needs.
+type Ops struct {
+	Gets, GetHits, GetMisses    uint64
+	Puts, PutHits, PutInserts   uint64
+	Loads, LoadRaces            uint64
+	Fills, FillsDirty, Bypasses uint64
+	Evictions, DirtyEvictions   uint64
+	GetHitsClean, GetHitsDirty  uint64
+	PutHitsClean, PutHitsDirty  uint64
+	BypassLoads, BypassStores   uint64
+}
+
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode renders s in the canonical rwp-snap-v1 byte form. The
+// encoding is a pure function of s: identical snapshots encode to
+// identical bytes, which is what lets check.sh cmp-gate the
+// re-snapshot fixed point.
+func Encode(s *Snapshot) []byte {
+	b := make([]byte, 0, 1<<12)
+	b = append(b, Magic...)
+	b = appendString(b, s.Policy)
+	b = binary.AppendUvarint(b, uint64(s.Sets))
+	b = binary.AppendUvarint(b, uint64(s.Ways))
+	b = binary.AppendUvarint(b, uint64(s.RWP.SamplerSets))
+	b = binary.AppendUvarint(b, s.RWP.Interval)
+	b = binary.AppendUvarint(b, uint64(s.RWP.DecayShift))
+	b = binary.AppendVarint(b, int64(s.RWP.InitialDirtyTarget))
+	b = binary.AppendUvarint(b, uint64(s.Lo))
+	b = binary.AppendUvarint(b, uint64(s.Hi))
+	for i := range s.Records {
+		b = appendRecord(b, &s.Records[i])
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTab))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRecord(b []byte, r *SetRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(r.Set))
+	b = binary.AppendUvarint(b, uint64(len(r.Entries)))
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		b = appendString(b, e.Key)
+		b = binary.AppendUvarint(b, uint64(len(e.Value)))
+		b = append(b, e.Value...)
+		b = append(b, boolByte(e.Dirty))
+	}
+	for _, v := range opsFields(&r.Ops) {
+		b = binary.AppendUvarint(b, *v)
+	}
+	b = appendHist(b, r.Costs)
+	b = appendHist(b, r.CostsClean)
+	b = appendHist(b, r.CostsDirty)
+	if r.RWP == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	st := r.RWP
+	b = binary.AppendUvarint(b, uint64(st.TargetDirty))
+	b = binary.AppendUvarint(b, st.Accesses)
+	b = binary.AppendUvarint(b, st.Intervals)
+	b = binary.AppendUvarint(b, st.RetargetUp)
+	b = binary.AppendUvarint(b, st.RetargetDown)
+	b = binary.AppendUvarint(b, st.RetargetSame)
+	for _, t := range st.History {
+		b = binary.AppendUvarint(b, uint64(t))
+	}
+	for _, v := range st.CleanHist {
+		b = binary.AppendUvarint(b, v)
+	}
+	for _, v := range st.DirtyHist {
+		b = binary.AppendUvarint(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Samplers)))
+	for i := range st.Samplers {
+		b = appendStack(b, st.Samplers[i].Clean)
+		b = appendStack(b, st.Samplers[i].Dirty)
+	}
+	return b
+}
+
+func appendHist(b []byte, h probe.CostHist) []byte {
+	b = binary.AppendUvarint(b, uint64(len(h.Buckets)))
+	for _, bk := range h.Buckets {
+		b = binary.AppendUvarint(b, uint64(bk.Cost))
+		b = binary.AppendUvarint(b, bk.Count)
+	}
+	return b
+}
+
+func appendStack(b []byte, entries []core.SamplerEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = binary.LittleEndian.AppendUint64(b, e.Line)
+		b = append(b, boolByte(e.Rewritten))
+	}
+	return b
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// opsFields enumerates the 19 counters in canonical encoding order.
+func opsFields(o *Ops) [19]*uint64 {
+	return [19]*uint64{
+		&o.Gets, &o.GetHits, &o.GetMisses,
+		&o.Puts, &o.PutHits, &o.PutInserts,
+		&o.Loads, &o.LoadRaces,
+		&o.Fills, &o.FillsDirty, &o.Bypasses,
+		&o.Evictions, &o.DirtyEvictions,
+		&o.GetHitsClean, &o.GetHitsDirty,
+		&o.PutHitsClean, &o.PutHitsDirty,
+		&o.BypassLoads, &o.BypassStores,
+	}
+}
+
+// decoder is a bounds-checked cursor over the snapshot body.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), d.pos)
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("truncated %s", what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("truncated %s", what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a uvarint bounded by max and by the remaining bytes
+// (assuming each counted item costs at least minBytes), so hostile
+// declared counts can never drive a large allocation.
+func (d *decoder) count(what string, max int, minBytes int) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, d.fail("%s %d exceeds limit %d", what, v, max)
+	}
+	if minBytes > 0 && v > uint64((len(d.buf)-d.pos)/minBytes) {
+		return 0, d.fail("%s %d exceeds remaining input", what, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) bytes(what string, n int) ([]byte, error) {
+	if n > len(d.buf)-d.pos {
+		return nil, d.fail("truncated %s", what)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) byte1(what string) (byte, error) {
+	b, err := d.bytes(what, 1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) boolByte(what string) (bool, error) {
+	b, err := d.byte1(what)
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, d.fail("%s flag byte %d is not 0/1", what, b)
+	}
+	return b == 1, nil
+}
+
+// Decode parses and fully validates a canonical snapshot. Everything
+// self-contained is checked here: schema, CRC, bounds, strict set
+// ordering over exactly [Lo,Hi), histogram canonical order, counter
+// conservation, and RWP-state shape (core's State.Validate). On any
+// defect the error wraps ErrSchema or ErrCorrupt and no Snapshot is
+// returned.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+4 || string(data[:len(Magic)]) != Magic {
+		return nil, ErrSchema
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTab) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := &decoder{buf: body, pos: len(Magic)}
+	s := &Snapshot{}
+	n, err := d.count("policy length", 64, 1)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := d.bytes("policy", n)
+	if err != nil {
+		return nil, err
+	}
+	s.Policy = string(pb)
+	if s.Policy != "lru" && s.Policy != "rwp" {
+		return nil, d.fail("unsupported policy %q", s.Policy)
+	}
+	if s.Sets, err = d.count("sets", MaxSets, 0); err != nil {
+		return nil, err
+	}
+	if s.Sets == 0 || s.Sets&(s.Sets-1) != 0 {
+		return nil, d.fail("set count %d is not a power of two", s.Sets)
+	}
+	if s.Ways, err = d.count("ways", MaxWays, 0); err != nil {
+		return nil, err
+	}
+	if s.Ways == 0 {
+		return nil, d.fail("zero ways")
+	}
+	if s.RWP.SamplerSets, err = d.count("sampler sets", MaxSets, 0); err != nil {
+		return nil, err
+	}
+	if s.RWP.Interval, err = d.uvarint("interval"); err != nil {
+		return nil, err
+	}
+	shift, err := d.count("decay shift", 63, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.RWP.DecayShift = uint(shift)
+	idt, err := d.varint("initial dirty target")
+	if err != nil {
+		return nil, err
+	}
+	if idt < -1 || idt > int64(s.Ways) {
+		return nil, d.fail("initial dirty target %d outside [-1,%d]", idt, s.Ways)
+	}
+	s.RWP.InitialDirtyTarget = int(idt)
+	if s.Lo, err = d.count("lo", s.Sets, 0); err != nil {
+		return nil, err
+	}
+	if s.Hi, err = d.count("hi", s.Sets, 0); err != nil {
+		return nil, err
+	}
+	if s.Lo > s.Hi {
+		return nil, d.fail("range [%d,%d) is inverted", s.Lo, s.Hi)
+	}
+	for set := s.Lo; set < s.Hi; set++ {
+		r, err := d.record(s, set)
+		if err != nil {
+			return nil, err
+		}
+		s.Records = append(s.Records, r)
+	}
+	if d.pos != len(body) {
+		return nil, d.fail("%d trailing bytes after last record", len(body)-d.pos)
+	}
+	return s, nil
+}
+
+func (d *decoder) record(s *Snapshot, want int) (SetRecord, error) {
+	var r SetRecord
+	idx, err := d.uvarint("set index")
+	if err != nil {
+		return r, err
+	}
+	if idx != uint64(want) {
+		return r, d.fail("set index %d, want %d (records must cover [lo,hi) exactly once, ascending)", idx, want)
+	}
+	r.Set = want
+	k, err := d.count("entry count", s.Ways, 3)
+	if err != nil {
+		return r, err
+	}
+	if k > 0 {
+		r.Entries = make([]Entry, k)
+	}
+	for i := 0; i < k; i++ {
+		if err := d.entry(&r.Entries[i]); err != nil {
+			return r, err
+		}
+		for j := 0; j < i; j++ {
+			if r.Entries[j].Key == r.Entries[i].Key {
+				return r, d.fail("duplicate key %q in set %d", r.Entries[i].Key, want)
+			}
+		}
+	}
+	for _, v := range opsFields(&r.Ops) {
+		if *v, err = d.uvarint("op counter"); err != nil {
+			return r, err
+		}
+	}
+	if err := checkOps(&r.Ops); err != nil {
+		return r, d.fail("set %d: %v", want, err)
+	}
+	if r.Costs, err = d.hist("cost histogram"); err != nil {
+		return r, err
+	}
+	if r.CostsClean, err = d.hist("clean cost histogram"); err != nil {
+		return r, err
+	}
+	if r.CostsDirty, err = d.hist("dirty cost histogram"); err != nil {
+		return r, err
+	}
+	flag, err := d.byte1("policy-state flag")
+	if err != nil {
+		return r, err
+	}
+	switch {
+	case flag == 0 && s.Policy != "rwp":
+		return r, nil
+	case flag == 1 && s.Policy == "rwp":
+		st, err := d.rwpState(s)
+		if err != nil {
+			return r, err
+		}
+		r.RWP = &st
+		return r, nil
+	default:
+		return r, d.fail("policy-state flag %d contradicts policy %q", flag, s.Policy)
+	}
+}
+
+func (d *decoder) entry(e *Entry) error {
+	n, err := d.count("key length", MaxKey, 1)
+	if err != nil {
+		return err
+	}
+	kb, err := d.bytes("key", n)
+	if err != nil {
+		return err
+	}
+	e.Key = string(kb)
+	if n, err = d.count("value length", MaxValue, 1); err != nil {
+		return err
+	}
+	vb, err := d.bytes("value", n)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		e.Value = append([]byte(nil), vb...)
+	}
+	e.Dirty, err = d.boolByte("dirty")
+	return err
+}
+
+// checkOps rejects counter combinations the live cache can never
+// produce, so a recorder rebuilt from them would misreport.
+func checkOps(o *Ops) error {
+	switch {
+	case o.GetHitsClean+o.GetHitsDirty != o.GetHits:
+		return errors.New("get-hit split does not sum to GetHits")
+	case o.PutHitsClean+o.PutHitsDirty != o.PutHits:
+		return errors.New("put-hit split does not sum to PutHits")
+	case o.BypassLoads+o.BypassStores != o.Bypasses:
+		return errors.New("bypass split does not sum to Bypasses")
+	case o.DirtyEvictions > o.Evictions:
+		return errors.New("more dirty evictions than evictions")
+	case o.Loads > o.Fills:
+		return errors.New("more loader fills than fills")
+	case o.FillsDirty > o.Fills:
+		return errors.New("more dirty fills than fills")
+	}
+	return nil
+}
+
+func (d *decoder) hist(what string) (probe.CostHist, error) {
+	var h probe.CostHist
+	n, err := d.count(what+" buckets", len(d.buf), 2)
+	if err != nil {
+		return h, err
+	}
+	prev := -1
+	for i := 0; i < n; i++ {
+		cost, err := d.uvarint(what + " cost")
+		if err != nil {
+			return h, err
+		}
+		if cost > 1<<32 {
+			return h, d.fail("%s cost %d is implausibly large", what, cost)
+		}
+		cnt, err := d.uvarint(what + " count")
+		if err != nil {
+			return h, err
+		}
+		if int(cost) <= prev {
+			return h, d.fail("%s costs not strictly ascending", what)
+		}
+		if cnt == 0 {
+			return h, d.fail("%s has an empty bucket", what)
+		}
+		prev = int(cost)
+		h.Buckets = append(h.Buckets, probe.CostBucket{Cost: int(cost), Count: cnt})
+	}
+	return h, nil
+}
+
+func (d *decoder) rwpState(s *Snapshot) (core.State, error) {
+	var st core.State
+	td, err := d.count("dirty target", s.Ways, 0)
+	if err != nil {
+		return st, err
+	}
+	st.TargetDirty = td
+	if st.Accesses, err = d.uvarint("accesses"); err != nil {
+		return st, err
+	}
+	if st.Intervals, err = d.uvarint("intervals"); err != nil {
+		return st, err
+	}
+	if st.RetargetUp, err = d.uvarint("retarget up"); err != nil {
+		return st, err
+	}
+	if st.RetargetDown, err = d.uvarint("retarget down"); err != nil {
+		return st, err
+	}
+	if st.RetargetSame, err = d.uvarint("retarget same"); err != nil {
+		return st, err
+	}
+	if st.Intervals > uint64(len(d.buf)-d.pos) {
+		return st, d.fail("history of %d intervals exceeds remaining input", st.Intervals)
+	}
+	if st.Intervals > 0 {
+		st.History = make([]int, st.Intervals)
+	}
+	for i := range st.History {
+		t, err := d.count("history target", s.Ways, 0)
+		if err != nil {
+			return st, err
+		}
+		st.History[i] = t
+	}
+	st.CleanHist = make([]uint64, s.Ways)
+	st.DirtyHist = make([]uint64, s.Ways)
+	for i := range st.CleanHist {
+		if st.CleanHist[i], err = d.uvarint("clean histogram"); err != nil {
+			return st, err
+		}
+	}
+	for i := range st.DirtyHist {
+		if st.DirtyHist[i], err = d.uvarint("dirty histogram"); err != nil {
+			return st, err
+		}
+	}
+	ns, err := d.count("sampler count", 1, 0)
+	if err != nil {
+		return st, err
+	}
+	// The live cache attaches one RWP per set (NumSets 1), so every
+	// set's policy has exactly one sampler.
+	if ns != 1 {
+		return st, d.fail("sampler count %d, want 1", ns)
+	}
+	st.Samplers = make([]core.SamplerState, 1)
+	if st.Samplers[0].Clean, err = d.stack(s, "clean"); err != nil {
+		return st, err
+	}
+	if st.Samplers[0].Dirty, err = d.stack(s, "dirty"); err != nil {
+		return st, err
+	}
+	if err := st.Validate(s.Ways, 1); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+func (d *decoder) stack(s *Snapshot, which string) ([]core.SamplerEntry, error) {
+	n, err := d.count(which+" stack size", s.Ways, 9)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]core.SamplerEntry, n)
+	for i := range out {
+		lb, err := d.bytes(which+" stack line", 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Line = binary.LittleEndian.Uint64(lb)
+		if out[i].Rewritten, err = d.boolByte(which + " stack flag"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# bench_snap.sh — measure the warm-restart snapshot subsystem. Writes
+# results/snap_bench.txt so regressions show up in review diffs.
+#
+# Three sections:
+#   1. Go microbenches: snapshot encode and full restore on a warm
+#      12k-op cache (internal/live).
+#   2. Snapshot size for the standard smoke geometry (orientation).
+#   3. The cluster catch-up bench (cmd/rwpcluster -catchup-bench): the
+#      same managed hotspot run with warm snapshot catch-up vs forced
+#      cold resets. Replica decisions are routing-side functions of the
+#      stream, so both legs apply identical commands; summed backend
+#      Loads isolate the refill cost that catch-up removes.
+#
+# The gate (enforced by the rwpcluster binary and re-checked here):
+# identical commands across legs, warm catch-ups actually ran, and
+# warm backend loads strictly below cold.
+#
+# Usage: scripts/bench_snap.sh [ops]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ops=${1:-120000}
+out=results/snap_bench.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rwpserve" ./cmd/rwpserve
+go build -o "$work/rwpcluster" ./cmd/rwpcluster
+
+echo ">> snapshot encode/restore microbenches"
+{
+    echo "# snapshot bench: encode/restore cost, snapshot size, and warm catch-up savings"
+    echo "# go test -bench on a 12k-op warm cache (internal/live):"
+    go test -run '^$' -bench 'BenchmarkSnapshotEncode|BenchmarkRestoreSnapshot' \
+        -benchtime 2x ./internal/live | grep -E 'Benchmark|^ok'
+    echo ""
+    echo "# snapshot size at the smoke geometry (12k mcf ops, 256x8):"
+    "$work/rwpserve" -selftest 12000 -sets 256 -ways 8 -shards 4 \
+        -profile mcf -snapshot "$work/warm.snap" >/dev/null
+    wc -c <"$work/warm.snap" | awk '{printf "snapshot bytes: %d\n", $1}'
+    echo ""
+    echo "# cluster catch-up: warm snapshot transfer vs cold reset + Loader refill"
+} | tee "$out"
+
+echo ">> rwpcluster -catchup-bench (warm vs cold replica adds)"
+"$work/rwpcluster" -catchup-bench -bench-ops "$ops" | tee -a "$out"
+
+# Re-assert the gate from the recorded output: warm loads strictly
+# below cold, with at least one warm catch-up and identical command
+# streams (the binary exits nonzero on violation; this guards the
+# recorded file itself).
+awk -F'[= ]+' '/^gate: backend-loads/ {
+        seen = 1
+        if ($4 + 0 >= $6 + 0) bad = 1      # warm loads not below cold
+        if ($8 + 0 == 0) bad = 1           # no warm catch-ups ran
+        if ($13 + 0 != $15 + 0) bad = 1    # command streams diverged
+    }
+    END { exit (bad || !seen) }' "$out" || {
+    echo 'bench_snap.sh: FAIL: warm catch-up gate does not hold in recorded output' >&2
+    exit 1
+}

@@ -116,6 +116,51 @@ cmp "$smoke/live1.json" "$smoke/livetcp.json" || {
     exit 1
 }
 
+# Warm-restart smoke: snapshot a 12k-op selftest, resume it to 20k with
+# -restore/-selftest-skip at different shard counts — the printed stats
+# must be byte-identical to the uninterrupted 20k-op run
+# ($smoke/live1.json from the live smoke). Then the fixed point:
+# restoring and re-snapshotting with zero ops (skip == selftest) must
+# reproduce the snapshot file byte-for-byte. Finally, a truncated
+# snapshot must log 'starting cold' and produce the cold-run bytes with
+# exit 0 — corruption never panics and never serves partial state.
+echo '>> restart smoke: snapshot/restore equivalence across shard counts'
+go run ./cmd/rwpserve -selftest 12000 -sets 256 -ways 8 -shards 4 \
+    -profile mcf -snapshot "$smoke/warm.snap" >/dev/null
+for sh in 1 32; do
+    go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards "$sh" \
+        -profile mcf -restore "$smoke/warm.snap" -selftest-skip 12000 \
+        >"$smoke/resumed$sh.json" 2>"$smoke/resumed$sh.err"
+    cmp "$smoke/live1.json" "$smoke/resumed$sh.json" || {
+        echo "check.sh: FAIL: restored run (-shards $sh) differs from uninterrupted run" >&2
+        exit 1
+    }
+    if grep -q 'starting cold' "$smoke/resumed$sh.err"; then
+        echo "check.sh: FAIL: restore (-shards $sh) fell back to a cold start:" >&2
+        cat "$smoke/resumed$sh.err" >&2
+        exit 1
+    fi
+done
+go run ./cmd/rwpserve -selftest 12000 -sets 256 -ways 8 -shards 32 \
+    -profile mcf -restore "$smoke/warm.snap" -selftest-skip 12000 \
+    -snapshot "$smoke/warm2.snap" >/dev/null
+cmp "$smoke/warm.snap" "$smoke/warm2.snap" || {
+    echo 'check.sh: FAIL: restore + re-snapshot is not a fixed point' >&2
+    exit 1
+}
+head -c 256 "$smoke/warm.snap" >"$smoke/trunc.snap"
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -restore "$smoke/trunc.snap" \
+    >"$smoke/coldstart.json" 2>"$smoke/coldstart.err"
+cmp "$smoke/live1.json" "$smoke/coldstart.json" || {
+    echo 'check.sh: FAIL: corrupt-snapshot run differs from the cold run' >&2
+    exit 1
+}
+grep -q 'starting cold' "$smoke/coldstart.err" || {
+    echo 'check.sh: FAIL: corrupt snapshot did not log the cold-start fallback' >&2
+    exit 1
+}
+
 # Cluster smoke: the 3-node merged stats document must be bit-identical
 # across runs, across ring-shard counts (the ring only moves whole set
 # ranges between nodes), AND to the single-node rwpserve run above at
