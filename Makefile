@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # pre-PR gate.
 
-.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster bench-replay bench-snap
+.PHONY: build test lint lint-report check check-short cover exps bench-engine bench-live bench-proto bench-cluster bench-replay bench-snap bench-stampede
 
 build:
 	go build ./...
@@ -76,3 +76,10 @@ bench-replay:
 # warm catch-up does not strictly cut backend loads.
 bench-snap:
 	scripts/bench_snap.sh
+
+# Score the stampede defenses (coalescing, negative caching) by
+# backend Loader calls under adversarial miss storms; records
+# results/stampede_bench.txt and fails unless every defended leg
+# strictly cuts backend loads.
+bench-stampede:
+	scripts/bench_stampede.sh

@@ -93,7 +93,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.RWP.Interval = *interval
 	}
 	if !*noLoader {
-		cfg.Loader = loadgen.Loader(*valueSize)
+		// Same backing store as rwpserve, hole at the absent keyspace
+		// included, so journals recorded there replay bit-identically.
+		cfg.Loader = loadgen.AbsentLoader(*valueSize)
 	}
 
 	var mgr *cluster.Manager

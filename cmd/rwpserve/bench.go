@@ -38,7 +38,7 @@ func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure,
 			if err != nil {
 				return err
 			}
-			g, err := loadgen.New(prof, 0, valSize)
+			g, err := loadgen.NewStream(prof, 0, valSize)
 			if err != nil {
 				return err
 			}
@@ -46,12 +46,12 @@ func runBench(w io.Writer, base live.Config, profiles []string, warmup, measure,
 			if err != nil {
 				return err
 			}
-			if err := tgt.Replay(g.Batch(warmup)); err != nil {
+			if err := tgt.Replay(loadgen.Take(g, warmup)); err != nil {
 				tgt.Close()
 				return err
 			}
 			c.ResetStats()
-			if err := tgt.Replay(g.Batch(measure)); err != nil {
+			if err := tgt.Replay(loadgen.Take(g, measure)); err != nil {
 				tgt.Close()
 				return err
 			}

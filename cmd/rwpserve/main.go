@@ -11,7 +11,7 @@
 //	                                 (schema rwp-reqlog-v1; replay with
 //	                                 cmd/rwpreplay)
 //	rwpserve -snapshot s.snap ...    write a state snapshot (schema
-//	                                 rwp-snap-v1) at graceful shutdown /
+//	                                 rwp-snap-v2) at graceful shutdown /
 //	                                 selftest exit; -snap-every N adds
 //	                                 op-count-clocked checkpoints
 //	rwpserve -restore s.snap ...     warm-start from a snapshot; /stats
@@ -22,6 +22,11 @@
 //	                                 over workload profiles, exit
 //	rwpserve -proto-bench            binary vs HTTP throughput/latency
 //	                                 bench, exit
+//	rwpserve -stampede-bench         miss-storm bench: backend Loader
+//	                                 calls with the stampede defenses
+//	                                 (-coalesce / -neg-ops) off vs on,
+//	                                 gated — defended must be strictly
+//	                                 lower — then exit
 //
 // The HTTP endpoints:
 //
@@ -77,9 +82,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	interval := fs.Uint64("interval", 0, "RWP repartition interval in per-set ops (0: default)")
 	valueSize := fs.Int("value-size", 0, "synthetic value size in bytes (0: default)")
 	noLoader := fs.Bool("no-loader", false, "disable the synthetic backing store (Get misses return 404)")
+	coalesce := fs.Bool("coalesce", false, "singleflight fill coalescing: concurrent misses on one key share one Loader call")
+	negOps := fs.Uint64("neg-ops", 0, "negatively cache Loader misses for N per-set ops (0: off)")
+	leaseOps := fs.Uint64("lease-ops", 0, "depose a coalesced fill stuck for N per-set ops (0: never; needs -coalesce)")
 	probeOn := fs.Bool("probe", true, "attach probe recorders (probe section of /stats)")
 	recordPath := fs.String("record", "", "journal every request to this file (schema rwp-reqlog-v1)")
-	snapPath := fs.String("snapshot", "", "write a state snapshot (schema rwp-snap-v1) here at graceful shutdown / selftest exit")
+	snapPath := fs.String("snapshot", "", "write a state snapshot (schema rwp-snap-v2) here at graceful shutdown / selftest exit")
 	snapEvery := fs.Uint64("snap-every", 0, "additionally checkpoint -snapshot every N data ops (serve mode; 0: shutdown only)")
 	restorePath := fs.String("restore", "", "warm-start from this snapshot; a bad snapshot logs and starts cold")
 	selftest := fs.Int("selftest", 0, "run N loadgen ops through -transport, print /stats JSON, exit")
@@ -95,6 +103,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	benchProfiles := fs.String("bench-profiles", "", "comma-separated bench profiles (default: cache-sensitive set)")
 	protoBench := fs.Bool("proto-bench", false, "run the binary-vs-HTTP transport bench and exit")
 	protoOps := fs.Int("proto-ops", 20_000, "ops per -proto-bench leg")
+	stampedeBench := fs.Bool("stampede-bench", false, "run the stampede-defense bench (gated) and exit")
+	stampedeClients := fs.Int("stampede-clients", 8, "concurrent clients per -stampede-bench storm")
+	stampedeOps := fs.Int("stampede-ops", 20_000, "stream ops per -stampede-bench scan leg")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -116,18 +127,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cfg.RWP.Interval = *interval
 	}
 	if !*noLoader {
-		cfg.Loader = loadgen.Loader(*valueSize)
+		// The backing store has a hole at loadgen's absent keyspace, so
+		// the adversarial scan profile sees true backend misses; for
+		// every other key this serves the same bytes Loader always has.
+		cfg.Loader = loadgen.AbsentLoader(*valueSize)
 	}
+	cfg.Coalesce = *coalesce
+	cfg.NegOps = *negOps
+	cfg.LeaseOps = *leaseOps
 
-	if *recordPath != "" && (*bench || *protoBench) {
+	anyBench := *bench || *protoBench || *stampedeBench
+	if *recordPath != "" && anyBench {
 		fmt.Fprintln(stderr, "rwpserve: -record needs -selftest or serve mode (benches build private caches)")
 		return 2
 	}
-	if (*snapPath != "" || *restorePath != "") && (*bench || *protoBench) {
+	if (*snapPath != "" || *restorePath != "") && anyBench {
 		fmt.Fprintln(stderr, "rwpserve: -snapshot/-restore need -selftest or serve mode (benches build private caches)")
 		return 2
 	}
-	if *snapEvery > 0 && (*snapPath == "" || *selftest > 0 || *bench || *protoBench) {
+	if *snapEvery > 0 && (*snapPath == "" || *selftest > 0 || anyBench) {
 		fmt.Fprintln(stderr, "rwpserve: -snap-every needs serve mode with -snapshot")
 		return 2
 	}
@@ -153,6 +171,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *protoBench {
 		if err := runProtoBench(stdout, cfg, *profile, *seed, *valueSize, *protoOps, *batch, *pipeline); err != nil {
+			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *stampedeBench {
+		if err := runStampedeBench(stdout, cfg, *stampedeClients, *stampedeOps, *valueSize); err != nil {
 			fmt.Fprintf(stderr, "rwpserve: %v\n", err)
 			return 1
 		}
@@ -249,7 +275,7 @@ func openReqLog(path, desc string) (*probe.ReqLogWriter, func() error, error) {
 // run left off: restore at op K + replay ops K..n must print the same
 // bytes as a never-restarted n-op run.
 func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uint64, valSize, n, skip, batch, depth int) error {
-	g, err := loadgen.New(profile, seed, valSize)
+	g, err := loadgen.NewStream(profile, seed, valSize)
 	if err != nil {
 		return err
 	}
@@ -261,7 +287,7 @@ func runSelftest(w io.Writer, c *live.Cache, transport, profile string, seed uin
 		return err
 	}
 	defer tgt.Close()
-	if err := tgt.Replay(g.Batch(n - skip)); err != nil {
+	if err := tgt.Replay(loadgen.Take(g, n-skip)); err != nil {
 		return err
 	}
 	data, err := tgt.StatsJSON()

@@ -39,11 +39,11 @@ func runProtoBench(w io.Writer, base live.Config, profile string, seed uint64, v
 	if depth <= 0 {
 		depth = 1
 	}
-	g, err := loadgen.New(profile, seed, valSize)
+	g, err := loadgen.NewStream(profile, seed, valSize)
 	if err != nil {
 		return err
 	}
-	stream := g.Batch(ops)
+	stream := loadgen.Take(g, ops)
 	fmt.Fprintf(w, "proto bench: profile=%s ops=%d batch=%d pipeline=%d sets=%d ways=%d\n",
 		profile, ops, batch, depth, base.Sets, base.Ways)
 

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rwp/internal/live"
+	"rwp/internal/live/loadgen"
+)
+
+// The stampede bench scores the defenses in internal/live/fill.go by
+// the only number a backend operator cares about: how many times the
+// Loader was invoked. Three scenarios, each run undefended and
+// defended:
+//
+//	flash-storm   stampedeStorms rounds; each round, `clients`
+//	              goroutines all Get the same cold key at once. The
+//	              loader refuses to return until every client of the
+//	              round has missed, so the storm is total by
+//	              construction and both legs' counts are exact:
+//	              undefended clients*storms, coalesced storms.
+//	absent-flood  the same synchronized crowd, but every round hammers
+//	              one key the backend does not have. Absences never
+//	              install (a look-aside cache stores values, not
+//	              absences), so undefended every Get of the whole run is
+//	              a backend call; with coalescing + negative caching the
+//	              first round's leader makes the only one and the
+//	              verdict answers everything after.
+//	scan-neg      a single-goroutine adv:scan flood: a cyclic sweep of
+//	              the absent keyspace. Negative caching answers revisits
+//	              inside the verdict window locally; only window expiry
+//	              goes back to the backend.
+//
+// Every leg ends with CheckInvariants and the stampede conservation
+// law; the bench then gates — defended strictly below undefended in
+// every scenario — and errors out otherwise, so `make bench-stampede`
+// is a regression test, not just a report. All six counts are
+// deterministic (the storms by rendezvous, the scan by construction),
+// so the recorded results file is stable run to run.
+const stampedeStorms = 32
+
+// stampedeRow is one scenario's undefended-vs-defended comparison.
+type stampedeRow struct {
+	scenario  string
+	off, on   uint64 // backend Loader calls
+	misses    uint64 // defended-leg Get misses, for context
+	reduction float64
+}
+
+func runStampedeBench(w io.Writer, base live.Config, clients, scanOps, valSize int) error {
+	if clients < 2 {
+		return fmt.Errorf("stampede bench needs at least 2 clients, got %d", clients)
+	}
+	if scanOps < 1 {
+		return fmt.Errorf("stampede bench needs at least 1 scan op, got %d", scanOps)
+	}
+	if base.Sets*base.Ways < loadgen.ScanKeys {
+		// With fewer negative-cache slots than the scan cycle has keys,
+		// verdicts are evicted before their first revisit and the
+		// scan-neg leg degenerates to all-backend — not a defense
+		// regression, just a cache too small to remember the flood.
+		return fmt.Errorf("stampede bench needs sets*ways >= %d (the adv:scan cycle), got %d",
+			loadgen.ScanKeys, base.Sets*base.Ways)
+	}
+	fmt.Fprintf(w, "stampede bench: %d sets x %d ways, %d clients x %d storms, %d scan ops\n",
+		base.Sets, base.Ways, clients, stampedeStorms, scanOps)
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %8s\n", "scenario", "loads-off", "loads-on", "misses", "off/on")
+
+	rows := make([]stampedeRow, 0, 3)
+	for _, sc := range []struct {
+		name   string
+		leg    func(cfg live.Config) (uint64, uint64, error)
+		defend func(cfg *live.Config)
+	}{
+		{"flash-storm", func(cfg live.Config) (uint64, uint64, error) {
+			return stormLeg(cfg, clients, false, valSize)
+		}, func(cfg *live.Config) { cfg.Coalesce = true }},
+		{"absent-flood", func(cfg live.Config) (uint64, uint64, error) {
+			return stormLeg(cfg, clients, true, valSize)
+		}, func(cfg *live.Config) {
+			cfg.Coalesce = true
+			cfg.NegOps = 1 << 30 // one verdict must span the whole flood
+		}},
+		{"scan-neg", func(cfg live.Config) (uint64, uint64, error) {
+			return scanLeg(cfg, scanOps, valSize)
+		}, func(cfg *live.Config) {
+			cfg.Coalesce = true
+			cfg.NegOps = 64
+		}},
+	} {
+		off, _, err := sc.leg(base)
+		if err != nil {
+			return fmt.Errorf("%s undefended: %w", sc.name, err)
+		}
+		cfg := base
+		sc.defend(&cfg)
+		on, misses, err := sc.leg(cfg)
+		if err != nil {
+			return fmt.Errorf("%s defended: %w", sc.name, err)
+		}
+		row := stampedeRow{scenario: sc.name, off: off, on: on, misses: misses}
+		if on > 0 {
+			row.reduction = float64(off) / float64(on)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-14s %12d %12d %10d %8.2f\n", row.scenario, row.off, row.on, row.misses, row.reduction)
+	}
+
+	// The gate: every scenario must show a strict reduction in backend
+	// calls. A bench that merely reports would let a regression slide.
+	var failed bool
+	for _, r := range rows {
+		verdict := "PASS"
+		if r.on >= r.off {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "GATE %s: defended %d < undefended %d: %s\n", r.scenario, r.on, r.off, verdict)
+	}
+	if failed {
+		return fmt.Errorf("stampede gate failed: defended leg did not reduce backend loads")
+	}
+	return nil
+}
+
+// checkLeg asserts the post-conditions every leg must satisfy at rest:
+// structural invariants plus the stampede conservation law.
+func checkLeg(c *live.Cache) (misses uint64, err error) {
+	if err := c.CheckInvariants(); err != nil {
+		return 0, err
+	}
+	s := c.Stats()
+	resolved := s.Loads + s.LoadRaces + s.LoadAbsents + s.CoalescedLoads + s.NegHits + s.NegInserts
+	if resolved != s.GetMisses {
+		return 0, fmt.Errorf("conservation broken: loads %d + races %d + absents %d + coalesced %d + neg %d/%d != misses %d",
+			s.Loads, s.LoadRaces, s.LoadAbsents, s.CoalescedLoads, s.NegHits, s.NegInserts, s.GetMisses)
+	}
+	return s.GetMisses, nil
+}
+
+// stormLeg runs stampedeStorms synchronized miss storms of `clients`
+// goroutines each and returns the backend Loader call count. The
+// loader spins (on the cache's own miss counter — op-count, not wall
+// clock) until the whole round has missed, which makes the count a
+// deterministic function of the configuration: no client can sneak a
+// hit before the storm resolves. absent selects the flood variant
+// where the hammered key does not exist in the backend.
+func stormLeg(cfg live.Config, clients int, absent bool, valSize int) (loads, misses uint64, err error) {
+	var calls atomic.Uint64
+	var wantMisses atomic.Uint64
+	var c *live.Cache
+	inner := loadgen.AbsentLoader(valSize)
+	cfg.Loader = func(key string) []byte {
+		calls.Add(1)
+		for c.Stats().GetMisses < wantMisses.Load() {
+			runtime.Gosched()
+		}
+		return inner(key)
+	}
+	c, err = live.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for r := 0; r < stampedeStorms; r++ {
+		key := loadgen.FlashKey(uint64(r))
+		if absent {
+			key = loadgen.AbsentKey(0)
+		}
+		wantMisses.Store(c.Stats().GetMisses + uint64(clients))
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				c.Get(key)
+			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+	misses, err = checkLeg(c)
+	return calls.Load(), misses, err
+}
+
+// scanLeg replays a single-goroutine adv:scan flood and returns the
+// backend Loader call count — with negative caching on, only verdict
+// expiries reach the backend.
+func scanLeg(cfg live.Config, n, valSize int) (loads, misses uint64, err error) {
+	var calls atomic.Uint64
+	inner := loadgen.AbsentLoader(valSize)
+	cfg.Loader = func(key string) []byte {
+		calls.Add(1)
+		return inner(key)
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := loadgen.NewStream(loadgen.AdvScan, 0, valSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	loadgen.RunStream(c, s, n)
+	misses, err = checkLeg(c)
+	return calls.Load(), misses, err
+}

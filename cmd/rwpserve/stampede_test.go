@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// stampedeArgs keeps CLI-test runs fast while respecting the bench's
+// geometry floor (sets*ways must cover the adv:scan cycle so verdicts
+// survive to their first revisit).
+func stampedeArgs(extra ...string) []string {
+	base := []string{"-stampede-bench", "-sets", "1024", "-ways", "4", "-stampede-ops", "8000"}
+	return append(base, extra...)
+}
+
+// TestStampedeBenchCLI runs the gated bench through the real flag
+// surface: exit 0, every scenario present with a PASS verdict, no FAIL
+// anywhere, and — since every leg is deterministic by construction — a
+// second run must produce byte-identical output.
+func TestStampedeBenchCLI(t *testing.T) {
+	out, errb, code := runCLI(t, stampedeArgs()...)
+	if code != 0 {
+		t.Fatalf("stampede bench exit %d, stderr: %s\n%s", code, errb, out)
+	}
+	for _, sc := range []string{"flash-storm", "absent-flood", "scan-neg"} {
+		if !strings.Contains(out, "GATE "+sc+": ") {
+			t.Errorf("output missing the %s gate:\n%s", sc, out)
+		}
+	}
+	if !strings.Contains(out, "PASS") || strings.Contains(out, "FAIL") {
+		t.Errorf("gates did not all pass:\n%s", out)
+	}
+
+	again, errb, code := runCLI(t, stampedeArgs()...)
+	if code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, errb)
+	}
+	if again != out {
+		t.Errorf("bench output not deterministic:\nfirst:\n%s\nsecond:\n%s", out, again)
+	}
+}
+
+// TestStampedeBenchRejects: the flag surface refuses configurations
+// the bench cannot score honestly — too few clients to storm, and a
+// cache too small to remember the scan flood's verdicts.
+func TestStampedeBenchRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"one client", stampedeArgs("-stampede-clients", "1"), "at least 2 clients"},
+		{"tiny cache", []string{"-stampede-bench", "-sets", "256", "-ways", "8"}, "sets*ways"},
+		{"record", stampedeArgs("-record", "x.jsonl"), "-record"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errb, code := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("%v: exit 0, want failure", tc.args)
+			}
+			if !strings.Contains(errb, tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, errb)
+			}
+		})
+	}
+}

@@ -144,10 +144,11 @@ func TestStressConcurrentTCP(t *testing.T) {
 	if s.PutHits+s.PutInserts != s.Puts {
 		t.Errorf("put split broken: %d+%d != %d", s.PutHits, s.PutInserts, s.Puts)
 	}
-	// Fetches that lost the install race to a concurrent writer are
-	// counted apart from the loads that actually filled.
-	if s.Loads+s.LoadRaces != s.GetMisses {
-		t.Errorf("loader misses: loads %d + races %d != get misses %d", s.Loads, s.LoadRaces, s.GetMisses)
+	// The stampede conservation law (the defense counters are zero with
+	// the defenses off, but the law is the same six-term identity).
+	if s.Loads+s.LoadRaces+s.LoadAbsents+s.CoalescedLoads+s.NegHits+s.NegInserts != s.GetMisses {
+		t.Errorf("loader misses: loads %d + races %d + absents %d + coalesced %d + neg %d/%d != get misses %d",
+			s.Loads, s.LoadRaces, s.LoadAbsents, s.CoalescedLoads, s.NegHits, s.NegInserts, s.GetMisses)
 	}
 	if s.Fills != s.PutInserts+s.Loads {
 		t.Errorf("fill conservation broken: %d != %d+%d", s.Fills, s.PutInserts, s.Loads)

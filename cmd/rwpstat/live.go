@@ -14,10 +14,12 @@ import (
 
 // runLive polls a running rwpserve's /stats endpoint and prints one
 // line of interval deltas per poll: operation counts, the interval's
-// read hit rate, the retarget-decision direction split, and the exact
-// p99 service cost of just that interval (the cumulative histograms
-// are bucket-wise subtractable, so the interval percentile is exact,
-// not an average of averages).
+// read hit rate, the retarget-decision direction split, the exact p99
+// service cost of just that interval (the cumulative histograms are
+// bucket-wise subtractable, so the interval percentile is exact, not
+// an average of averages), and the stampede-defense work — coalesced
+// fills and negative-cache hits, each a backend call the interval's
+// traffic did not make.
 //
 // Polling cadence is wall clock (this is cmd/; the server itself stays
 // op-count clocked). If the server restarts or its stats are reset
@@ -35,8 +37,8 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		url += "/stats"
 	}
 
-	fmt.Fprintf(w, "%-6s %10s %10s %8s %22s %9s %11s %9s %8s\n",
-		"poll", "gets", "puts", "rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "entries", "dirty")
+	fmt.Fprintf(w, "%-6s %10s %10s %8s %22s %9s %11s %10s %9s %8s\n",
+		"poll", "gets", "puts", "rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "coal/neg", "entries", "dirty")
 
 	var prev live.StatsPayload
 	have := false
@@ -55,8 +57,8 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		if !have {
 			prev = cur
 			have = true
-			fmt.Fprintf(w, "%-6d %10s %10s %8s %22s %9s %11s %9d %8d  (baseline: %d ops total)\n",
-				n, "-", "-", "-", "-", "-", "-", cur.Stats.Entries, cur.Stats.DirtyEntries,
+			fmt.Fprintf(w, "%-6d %10s %10s %8s %22s %9s %11s %10s %9d %8d  (baseline: %d ops total)\n",
+				n, "-", "-", "-", "-", "-", "-", "-", cur.Stats.Entries, cur.Stats.DirtyEntries,
 				cur.Stats.Gets+cur.Stats.Puts)
 			continue
 		}
@@ -87,8 +89,15 @@ func runLive(w io.Writer, url string, every time.Duration, polls int, client *ht
 		}
 		p99cd := splitP99(prev.Stats.CostHistClean, d.CostHistClean) + "/" +
 			splitP99(prev.Stats.CostHistDirty, d.CostHistDirty)
-		fmt.Fprintf(w, "%-6d %10d %10d %8s %22s %9s %11s %9d %8d\n",
-			n, dGets, dPuts, rdHit, retarg, p99, p99cd, d.Entries, d.DirtyEntries)
+		// The interval's stampede-defense work: backend calls the cache
+		// avoided by coalescing onto an in-flight fill and by answering
+		// from a negative-cache verdict. 0/0 simply means the defenses
+		// are off or the traffic had no miss storms this interval.
+		defense := fmt.Sprintf("%d/%d",
+			d.CoalescedLoads-prev.Stats.CoalescedLoads,
+			d.NegHits-prev.Stats.NegHits)
+		fmt.Fprintf(w, "%-6d %10d %10d %8s %22s %9s %11s %10s %9d %8d\n",
+			n, dGets, dPuts, rdHit, retarg, p99, p99cd, defense, d.Entries, d.DirtyEntries)
 		prev = cur
 	}
 	return nil

@@ -41,7 +41,9 @@ func snapshots(t *testing.T) (before, after []byte) {
 	cfg.Sets, cfg.Ways, cfg.Shards = 128, 4, 4
 	cfg.RWP.Interval = 32
 	cfg.Record = true
-	cfg.Loader = loadgen.Loader(8)
+	cfg.Coalesce = true
+	cfg.NegOps = 64
+	cfg.Loader = loadgen.AbsentLoader(8)
 	c, err := live.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +58,12 @@ func snapshots(t *testing.T) (before, after []byte) {
 		t.Fatal(err)
 	}
 	loadgen.ApplyAll(c, g.Batch(3000))
+	// Eight gets of one absent key inside the burst: the first records a
+	// verdict (NegInserts), the next seven are NegHits — the poller's
+	// coal/neg cell for this interval reads exactly 0/7.
+	for i := 0; i < 8; i++ {
+		c.Get(loadgen.AbsentKey(0))
+	}
 	after, err = c.StatsJSON()
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +84,7 @@ func TestLivePollerDeltas(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "baseline"} {
+	for _, want := range []string{"rd-hit", "retargets(+/-/=)", "p99-cost", "p99-c/d", "coal/neg", "baseline"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("poller output missing %q:\n%s", want, got)
 		}
@@ -93,6 +101,12 @@ func TestLivePollerDeltas(t *testing.T) {
 	// never matches this shape — its slashes precede signs).
 	if !regexp.MustCompile(`\d+/\d+`).MatchString(last) {
 		t.Errorf("delta line lacks the clean/dirty p99 split: %q", last)
+	}
+	// The stampede-defense cell: single-goroutine traffic never
+	// coalesces, and the absent-key octet in the burst scores exactly
+	// seven negative-cache hits.
+	if !strings.Contains(last, " 0/7 ") {
+		t.Errorf("delta line lacks the 0/7 coal/neg cell: %q", last)
 	}
 	if strings.Contains(last, "baseline") {
 		t.Errorf("second poll still printing baseline: %q", last)

@@ -9,9 +9,11 @@ import (
 )
 
 // runProfile drives n single-goroutine loadgen operations for one
-// profile against a fresh cache with the given shard count and returns
-// the observable state.
-func runProfile(t *testing.T, profile string, shards, n int) (live.Stats, [2]uint64) {
+// profile (workload or adversarial) against a fresh cache with the
+// given shard count and returns the observable state. mutate, if
+// non-nil, adjusts the config before construction — how the tests
+// below switch the stampede defenses on.
+func runProfile(t *testing.T, profile string, shards, n int, mutate func(*live.Config)) (live.Stats, [2]uint64) {
 	t.Helper()
 	cfg := live.DefaultConfig()
 	cfg.Sets = 256
@@ -20,15 +22,18 @@ func runProfile(t *testing.T, profile string, shards, n int) (live.Stats, [2]uin
 	cfg.RWP.Interval = 32 // ~78 ops/set over n=20k: default 256 would never fire
 	cfg.Record = true
 	cfg.Loader = loadgen.Loader(0)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	c, err := live.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadgen.New(profile, 0, 0)
+	g, err := loadgen.NewStream(profile, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loadgen.Run(c, g, n)
+	loadgen.RunStream(c, g, n)
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
@@ -41,8 +46,8 @@ func runProfile(t *testing.T, profile string, shards, n int) (live.Stats, [2]uin
 // bit-identical when the same seeded stream is replayed.
 func TestDeterministicAcrossRuns(t *testing.T) {
 	const n = 20_000
-	s1, p1 := runProfile(t, "mcf", 8, n)
-	s2, p2 := runProfile(t, "mcf", 8, n)
+	s1, p1 := runProfile(t, "mcf", 8, n, nil)
+	s2, p2 := runProfile(t, "mcf", 8, n, nil)
 	if !reflect.DeepEqual(s1, s2) {
 		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", s1, s2)
 	}
@@ -59,9 +64,9 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 // for every shard count.
 func TestDeterministicAcrossShardCounts(t *testing.T) {
 	const n = 20_000
-	base, pbase := runProfile(t, "xalancbmk", 1, n)
+	base, pbase := runProfile(t, "xalancbmk", 1, n, nil)
 	for _, shards := range []int{2, 4, 16, 256} {
-		s, p := runProfile(t, "xalancbmk", shards, n)
+		s, p := runProfile(t, "xalancbmk", shards, n, nil)
 		if !reflect.DeepEqual(base, s) {
 			t.Errorf("shards=%d: stats differ from shards=1:\n%+v\n%+v", shards, base, s)
 		}
@@ -94,5 +99,62 @@ func TestDeterministicSeedSensitivity(t *testing.T) {
 	}
 	if reflect.DeepEqual(mk(0), mk(1)) {
 		t.Fatal("seed 0 and seed 1 produced identical stats")
+	}
+}
+
+// TestCoalesceSingleGoroutineIdentical: fill coalescing only collapses
+// genuinely concurrent misses, so a single-goroutine run with Coalesce
+// on is bit-identical — every counter, every probe histogram — to the
+// same run with it off, at every shard count. This is the determinism
+// contract that lets the bit-identity gates in scripts/check.sh keep
+// running with the defense enabled.
+func TestCoalesceSingleGoroutineIdentical(t *testing.T) {
+	const n = 20_000
+	coalesce := func(cfg *live.Config) { cfg.Coalesce = true; cfg.LeaseOps = 64 }
+	base, pbase := runProfile(t, "mcf", 8, n, nil)
+	for _, shards := range []int{1, 8, 32} {
+		s, p := runProfile(t, "mcf", shards, n, coalesce)
+		if !reflect.DeepEqual(base, s) {
+			t.Errorf("shards=%d: coalesce-on stats differ from coalesce-off:\n%+v\n%+v", shards, base, s)
+		}
+		if p != pbase {
+			t.Errorf("shards=%d: coalesce-on probe counters differ: %v vs %v", shards, p, pbase)
+		}
+	}
+	if base.CoalescedLoads != 0 || base.LeaseExpires != 0 {
+		t.Errorf("single-goroutine run coalesced %d / expired %d, want 0/0", base.CoalescedLoads, base.LeaseExpires)
+	}
+}
+
+// TestNegCacheDeterministic: negative caching changes behavior — that
+// is its job — but deterministically: an adversarial scan flood over
+// the absent keyspace produces bit-identical counters on every run and
+// at every shard count, because verdict expiry runs on the set's own
+// op-count clock, never wall time.
+func TestNegCacheDeterministic(t *testing.T) {
+	const n = 20_000
+	neg := func(cfg *live.Config) {
+		cfg.NegOps = 64
+		cfg.Coalesce = true
+		cfg.Loader = loadgen.AbsentLoader(0)
+	}
+	base, pbase := runProfile(t, loadgen.AdvScan, 1, n, neg)
+	for _, shards := range []int{2, 32} {
+		s, p := runProfile(t, loadgen.AdvScan, shards, n, neg)
+		if !reflect.DeepEqual(base, s) {
+			t.Errorf("shards=%d: neg-cache stats differ from shards=1:\n%+v\n%+v", shards, base, s)
+		}
+		if p != pbase {
+			t.Errorf("shards=%d: neg-cache probe counters differ: %v vs %v", shards, p, pbase)
+		}
+	}
+	if s2, _ := runProfile(t, loadgen.AdvScan, 1, n, neg); !reflect.DeepEqual(base, s2) {
+		t.Errorf("neg-cache stats differ across identical runs:\n%+v\n%+v", base, s2)
+	}
+	if base.NegInserts == 0 {
+		t.Error("scan flood never inserted a negative verdict")
+	}
+	if base.Loads != 0 {
+		t.Errorf("scan flood loaded %d absent keys (AbsentLoader should return nil for all of them)", base.Loads)
 	}
 }

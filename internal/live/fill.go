@@ -1,0 +1,258 @@
+package live
+
+import (
+	"rwp/internal/cache"
+	"rwp/internal/mem"
+	"rwp/internal/probe"
+)
+
+// This file is the live cache's stampede defense: what happens on a
+// Get miss when Config.Coalesce and/or Config.NegOps are set. The
+// look-aside design's classic failure mode is a miss storm — many
+// clients miss on one key at once and fan out as that many concurrent
+// Loader calls, overloading the very backend the cache exists to
+// shield. Three mechanisms close it:
+//
+//   - Singleflight coalescing (Coalesce): the first miss on a key
+//     registers a fillCall in its shard's fills map and becomes the
+//     leader — the only goroutine that calls the Loader. Misses that
+//     arrive while the call is in flight block on the fillCall's done
+//     channel and share its result (counted CoalescedLoads). A miss
+//     that relocks and finds the key already resident joins the
+//     just-landed fill the same way — the storm's tail.
+//   - Negative caching (NegOps): when the Loader reports a key absent
+//     (nil), the set remembers that verdict for NegOps operations on
+//     the set's own op-count clock (counted NegInserts); Gets inside
+//     the window are answered locally (NegHits). A Put of the key, or
+//     a Loader fill, invalidates the entry immediately, so negative
+//     answers never shadow a write. The op-count clock — never wall
+//     clock — keeps expiry deterministic and shard-count invariant.
+//   - Lease tokens (LeaseOps): a fillCall's registration op-count is
+//     its lease. If the leader's Loader call outlives LeaseOps set
+//     operations (stuck backend, dead goroutine), the next missing Get
+//     deposes it (LeaseExpires), registers a fresh fillCall, and
+//     fetches itself; the deposed leader's install is then demoted to
+//     a LoadRace by the ordinary resident-recheck.
+//
+// Counter conservation: with a Loader configured, every Get miss
+// resolves to exactly one of Loads, LoadRaces, LoadAbsents,
+// CoalescedLoads, NegHits, or NegInserts, so at rest
+//
+//	GetMisses == Loads + LoadRaces + LoadAbsents
+//	           + CoalescedLoads + NegHits + NegInserts
+//
+// — the law the stress tests assert and CheckInvariants bounds (while
+// a fill is in flight its miss is counted but not yet resolved, so the
+// right side may trail, never lead).
+//
+// Determinism: all of this engages only on the miss-with-Loader path
+// and only collapses genuinely concurrent work, so a single-goroutine
+// run with Coalesce on is bit-identical to one with it off; negative
+// caching changes behavior (that is its job) but deterministically —
+// same stream in, same counters out, at any shard count.
+//
+// Reentrancy caveat: with Coalesce on, a Loader that reentrantly Gets
+// the key it was asked to load would wait on its own fillCall —
+// deadlock. Reentrant Puts (the TestReentrantLoader contract) remain
+// fine: Put never touches the fills map.
+
+// fillCall is one in-flight coalesced Loader call.
+type fillCall struct {
+	born uint64        // the set's op-count at registration (the lease clock)
+	done chan struct{} // closed by the leader once val is final
+	val  []byte        // the Loader's result; immutable after done closes
+}
+
+// negEntry is one negative-cache verdict: key was absent from the
+// backing store, believed until the set's op-count reaches exp.
+type negEntry struct {
+	key string
+	exp uint64
+}
+
+// opCount is the set's operation clock: total completed-or-started
+// Gets and Puts. Pure set-local state, so everything timed by it is
+// shard-count invariant by construction.
+func (s *lset) opCount() uint64 { return s.ops.Gets + s.ops.Puts }
+
+// negLookup reports whether key is negatively cached right now, lazily
+// dropping the entry if its window has passed. Linear scan, like find:
+// the slice is bounded by the set's associativity.
+func (s *lset) negLookup(key string) bool {
+	now := s.opCount()
+	for i := range s.negs {
+		if s.negs[i].key != key {
+			continue
+		}
+		if now < s.negs[i].exp {
+			return true
+		}
+		s.negs = append(s.negs[:i], s.negs[i+1:]...)
+		return false
+	}
+	return false
+}
+
+// negInsert records (or refreshes) an absence verdict expiring at exp.
+// The slice is capped at limit entries; when full, the soonest-expiring
+// entry makes room (ties break to the oldest slot, deterministically).
+func (s *lset) negInsert(key string, exp uint64, limit int) {
+	for i := range s.negs {
+		if s.negs[i].key == key {
+			s.negs[i].exp = exp
+			return
+		}
+	}
+	if len(s.negs) >= limit {
+		victim := 0
+		for i := 1; i < len(s.negs); i++ {
+			if s.negs[i].exp < s.negs[victim].exp {
+				victim = i
+			}
+		}
+		s.negs = append(s.negs[:victim], s.negs[victim+1:]...)
+	}
+	s.negs = append(s.negs, negEntry{key: key, exp: exp})
+}
+
+// negDelete drops key's absence verdict, if any — called whenever the
+// key provably exists again (a Put insert or a Loader fill). A no-op
+// on the nil slice, so undefended configurations pay nothing.
+func (s *lset) negDelete(key string) {
+	for i := range s.negs {
+		if s.negs[i].key == key {
+			s.negs = append(s.negs[:i], s.negs[i+1:]...)
+			return
+		}
+	}
+}
+
+// missDefended finishes a Get miss with the stampede defenses engaged.
+// Get has already counted the miss (Gets, GetMisses, the probe miss
+// event) and released the shard lock; this function owns the rest of
+// the operation — it takes and releases the lock itself and does all
+// remaining cost/telemetry accounting. Exactly one of the six
+// conservation counters is incremented on every path.
+func (c *Cache) missDefended(sh *shard, ls *lset, key string, set int, h uint64, ai cache.AccessInfo) ([]byte, bool) {
+	sh.mu.Lock()
+	if way := ls.find(key); way >= 0 {
+		// The key landed between Get's miss probe and here — a writer
+		// or another miss's fill. Join the just-landed fill instead of
+		// fetching again: this is the tail of a storm, and exactly the
+		// duplicate Loader call the undefended path issues (then counts
+		// as a LoadRace). Unreachable single-goroutine: the window
+		// between unlock and relock is empty without concurrency.
+		e := &ls.entries[way]
+		ls.ops.CoalescedLoads++
+		ls.costs.Observe(CostCoalesced)
+		ls.costsClean.Observe(CostCoalesced)
+		//rwplint:allow hotalloc — copy-out is the Get API contract, as on the hit path
+		v := append([]byte(nil), e.val...)
+		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeFill, CostCoalesced)
+		return v, false
+	}
+	if c.cfg.NegOps > 0 && ls.negLookup(key) {
+		ls.ops.NegHits++
+		ls.costs.Observe(CostNegHit)
+		ls.costsClean.Observe(CostNegHit)
+		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeMiss, CostNegHit)
+		return nil, false
+	}
+	if c.cfg.Coalesce {
+		if fc, ok := sh.fills[key]; ok {
+			if c.cfg.LeaseOps == 0 || ls.opCount()-fc.born < c.cfg.LeaseOps {
+				// A fill for this key is in flight and its lease is
+				// live: wait for the leader's result instead of issuing
+				// a second backend call.
+				ls.ops.CoalescedLoads++
+				sh.mu.Unlock()
+				<-fc.done
+				v := cloneBytes(fc.val)
+				outcome := probe.OutcomeFill
+				if v == nil {
+					outcome = probe.OutcomeMiss
+				}
+				sh.mu.Lock()
+				ls.costs.Observe(CostCoalesced)
+				ls.costsClean.Observe(CostCoalesced)
+				sh.mu.Unlock()
+				c.logGet(key, set, outcome, CostCoalesced)
+				return v, false
+			}
+			// The leader's lease ran out: depose it so a stuck or dead
+			// fill cannot park the key forever. Our fresh fillCall
+			// replaces the map entry; the old leader's install guard
+			// (fills[key] == fc) keeps it from deleting ours, and the
+			// resident-recheck demotes whichever fetch lands second to
+			// a LoadRace.
+			ls.ops.LeaseExpires++
+		}
+	}
+	var fc *fillCall
+	if c.cfg.Coalesce {
+		fc = &fillCall{born: ls.opCount(), done: make(chan struct{})}
+		sh.fills[key] = fc
+	}
+	sh.mu.Unlock()
+	v := c.cfg.Loader(key)
+	sh.mu.Lock()
+	if fc != nil {
+		// Publish before waking waiters: the val write is ordered
+		// before close(done), and nothing writes val afterwards.
+		fc.val = v
+		if sh.fills[key] == fc {
+			delete(sh.fills, key)
+		}
+		close(fc.done)
+	}
+	if ls.find(key) >= 0 {
+		// Lost the install race to a concurrent writer (or to the
+		// leader that replaced an expired lease of ours): the resident
+		// entry wins, exactly as on the undefended path.
+		ls.ops.LoadRaces++
+		ls.costs.Observe(CostMiss)
+		ls.costsClean.Observe(CostMiss)
+		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeFill, CostMiss)
+		return v, false
+	}
+	if v == nil {
+		// The backend says absent: nothing installs (absence is not a
+		// value). With NegOps the verdict is remembered, so the next
+		// NegOps ops on this set answer locally; without it this is an
+		// ordinary absent fetch, same as the undefended path.
+		if c.cfg.NegOps > 0 {
+			ls.ops.NegInserts++
+			ls.negInsert(key, ls.opCount()+c.cfg.NegOps, c.cfg.Ways)
+		} else {
+			ls.ops.LoadAbsents++
+		}
+		ls.costs.Observe(CostMiss)
+		ls.costsClean.Observe(CostMiss)
+		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeMiss, CostMiss)
+		return nil, false
+	}
+	ls.ops.Loads++
+	ls.negDelete(key)
+	cost := CostMiss
+	if ls.fill(sh, key, mem.LineAddr(h), v, ai, false) {
+		cost += CostDirtyEvict
+	}
+	ls.costs.Observe(cost)
+	ls.costsClean.Observe(cost)
+	sh.mu.Unlock()
+	c.logGet(key, set, probe.OutcomeFill, cost)
+	return v, false
+}
+
+// cloneBytes copies a waiter's view of the leader's value (nil stays
+// nil: an absent key is absent for every waiter).
+func cloneBytes(v []byte) []byte {
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}

@@ -1,0 +1,412 @@
+package live_test
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rwp/internal/live"
+)
+
+// Tests for the stampede defenses (fill.go): singleflight coalescing,
+// negative caching, and lease tokens. The concurrent tests here are
+// choreographed — loaders block on channels or spin on observable
+// counters — so every assertion is exact, not statistical, and all of
+// them hold under -race (scripts/check.sh runs them so).
+
+// defendedConfig is the shared starting point: small, single-shard by
+// default so choreography is simple, LRU so Sets=1 is legal.
+func defendedConfig() live.Config {
+	cfg := live.DefaultConfig()
+	cfg.Sets = 64
+	cfg.Ways = 4
+	cfg.Shards = 1
+	cfg.Policy = "lru"
+	return cfg
+}
+
+// assertLaw checks the stampede conservation law at rest: every Get
+// miss resolved to exactly one of the six counters.
+func assertLaw(t *testing.T, s live.Stats) {
+	t.Helper()
+	resolved := s.Loads + s.LoadRaces + s.LoadAbsents + s.CoalescedLoads + s.NegHits + s.NegInserts
+	if resolved != s.GetMisses {
+		t.Errorf("conservation broken: loads %d + races %d + absents %d + coalesced %d + neg hits %d + neg inserts %d != get misses %d",
+			s.Loads, s.LoadRaces, s.LoadAbsents, s.CoalescedLoads, s.NegHits, s.NegInserts, s.GetMisses)
+	}
+}
+
+// TestStormSingleLoad is the acceptance test for the tentpole: a flash
+// crowd of 8 concurrent clients missing on one cold key issues exactly
+// one Loader call. The loader refuses to return until the other seven
+// misses have coalesced (CoalescedLoads is incremented under the shard
+// lock before a waiter blocks), so the storm is total by construction:
+// all eight Gets are in flight on the same key at once.
+func TestStormSingleLoad(t *testing.T) {
+	const clients = 8
+	want := []byte("storm-value")
+	var calls atomic.Uint64
+	var c *live.Cache
+	cfg := defendedConfig()
+	cfg.Coalesce = true
+	cfg.Loader = func(key string) []byte {
+		calls.Add(1)
+		for c.Stats().CoalescedLoads != clients-1 {
+			runtime.Gosched()
+		}
+		return append([]byte(nil), want...)
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([][]byte, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = c.Get("storm")
+		}(i)
+	}
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("storm of %d clients issued %d Loader calls, want exactly 1", clients, n)
+	}
+	for i, v := range got {
+		if !bytes.Equal(v, want) {
+			t.Fatalf("client %d got %q, want %q", i, v, want)
+		}
+	}
+	s := c.Stats()
+	if s.GetMisses != clients || s.Loads != 1 || s.CoalescedLoads != clients-1 {
+		t.Fatalf("misses %d / loads %d / coalesced %d, want %d / 1 / %d",
+			s.GetMisses, s.Loads, s.CoalescedLoads, clients, clients-1)
+	}
+	assertLaw(t, s)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateLoadRegression pins the failure mode the tentpole
+// exists to remove. The undefended unlocked-fill path (PR-6) lets two
+// concurrent misses on one key both reach the Loader — the test holds
+// the first call open until the second arrives, proving the duplicate
+// is real, not a timing accident. The coalesced subtest replays the
+// same choreography and shows the second miss waits instead.
+func TestDuplicateLoadRegression(t *testing.T) {
+	t.Run("undefended-duplicates", func(t *testing.T) {
+		var calls atomic.Uint64
+		entered1 := make(chan struct{})
+		entered2 := make(chan struct{})
+		release := make(chan struct{})
+		cfg := defendedConfig()
+		cfg.Loader = func(key string) []byte {
+			switch calls.Add(1) {
+			case 1:
+				close(entered1)
+			case 2:
+				close(entered2)
+			}
+			<-release
+			return []byte("dup")
+		}
+		c, err := live.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.Get("k") }()
+		<-entered1 // first miss is inside the Loader
+		go func() { defer wg.Done(); c.Get("k") }()
+		<-entered2 // second miss joined it: the stampede, pinned
+		close(release)
+		wg.Wait()
+
+		s := c.Stats()
+		if calls.Load() != 2 || s.Loads != 1 || s.LoadRaces != 1 {
+			t.Fatalf("undefended path: %d calls, loads %d, races %d; want 2 duplicate calls resolving as 1 load + 1 race",
+				calls.Load(), s.Loads, s.LoadRaces)
+		}
+		assertLaw(t, s)
+	})
+
+	t.Run("coalesced-single", func(t *testing.T) {
+		var calls atomic.Uint64
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		cfg := defendedConfig()
+		cfg.Coalesce = true
+		cfg.Loader = func(key string) []byte {
+			if calls.Add(1) == 1 {
+				close(entered)
+			}
+			<-release
+			return []byte("dup")
+		}
+		c, err := live.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.Get("k") }()
+		<-entered // leader is inside the Loader
+		go func() { defer wg.Done(); c.Get("k") }()
+		// The second miss must coalesce, never load: wait until it has
+		// (the counter moves before it blocks on the fill).
+		for c.Stats().CoalescedLoads == 0 {
+			runtime.Gosched()
+		}
+		close(release)
+		wg.Wait()
+
+		s := c.Stats()
+		if calls.Load() != 1 || s.Loads != 1 || s.CoalescedLoads != 1 || s.LoadRaces != 0 {
+			t.Fatalf("coalesced path: %d calls, loads %d, coalesced %d, races %d; want 1/1/1/0",
+				calls.Load(), s.Loads, s.CoalescedLoads, s.LoadRaces)
+		}
+		assertLaw(t, s)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// leaseCache builds a Sets=1 cache (every key shares one op-count
+// clock) whose loader blocks its first call until released and answers
+// later calls immediately — the shape of a stuck backend fetch.
+func leaseCache(t *testing.T, leaseOps uint64) (c *live.Cache, calls *atomic.Uint64, entered, release chan struct{}) {
+	t.Helper()
+	calls = new(atomic.Uint64)
+	entered = make(chan struct{})
+	release = make(chan struct{})
+	cfg := defendedConfig()
+	cfg.Sets = 1
+	cfg.Coalesce = true
+	cfg.LeaseOps = leaseOps
+	cfg.Loader = func(key string) []byte {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			return []byte("stale")
+		}
+		return []byte("fresh")
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, calls, entered, release
+}
+
+// TestLeaseExpiry: a leader whose Loader call outlives LeaseOps set
+// operations is deposed — the next miss fetches for itself — and the
+// deposed leader's late install demotes to a LoadRace, exactly as a
+// lost install race does on the undefended path.
+func TestLeaseExpiry(t *testing.T) {
+	c, calls, entered, release := leaseCache(t, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var stale []byte
+	go func() { defer wg.Done(); stale, _ = c.Get("k") }()
+	<-entered // leader stuck in the Loader, lease clock at op 1
+	// Advance the set's op-count past the lease while the fetch hangs.
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		c.Put(k, []byte("x"))
+	}
+	// This miss finds the in-flight fill over-lease, deposes it, and
+	// fetches for itself — without blocking on the stuck leader.
+	fresh, _ := c.Get("k")
+	if !bytes.Equal(fresh, []byte("fresh")) {
+		t.Fatalf("deposing Get returned %q, want the fresh fetch", fresh)
+	}
+	close(release)
+	wg.Wait()
+	if !bytes.Equal(stale, []byte("stale")) {
+		t.Fatalf("deposed leader returned %q, want its own fetch", stale)
+	}
+
+	s := c.Stats()
+	if calls.Load() != 2 || s.LeaseExpires != 1 || s.Loads != 1 || s.LoadRaces != 1 || s.CoalescedLoads != 0 {
+		t.Fatalf("calls %d, lease expires %d, loads %d, races %d, coalesced %d; want 2/1/1/1/0",
+			calls.Load(), s.LeaseExpires, s.Loads, s.LoadRaces, s.CoalescedLoads)
+	}
+	assertLaw(t, s)
+	// The fresh value, not the deposed leader's, is resident.
+	if v, hit := c.Get("k"); !hit || !bytes.Equal(v, []byte("fresh")) {
+		t.Fatalf("resident value %q (hit=%v), want the deposing fetch's", v, hit)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseHolds is the control: the same choreography inside the
+// lease window coalesces instead of deposing.
+func TestLeaseHolds(t *testing.T) {
+	c, calls, entered, release := leaseCache(t, 100)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var got [2][]byte
+	go func() { defer wg.Done(); got[0], _ = c.Get("k") }()
+	<-entered
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		c.Put(k, []byte("x"))
+	}
+	go func() { defer wg.Done(); got[1], _ = c.Get("k") }()
+	for c.Stats().CoalescedLoads == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	s := c.Stats()
+	if calls.Load() != 1 || s.LeaseExpires != 0 || s.CoalescedLoads != 1 {
+		t.Fatalf("calls %d, lease expires %d, coalesced %d; want 1/0/1 inside the lease window",
+			calls.Load(), s.LeaseExpires, s.CoalescedLoads)
+	}
+	for i, v := range got {
+		if !bytes.Equal(v, []byte("stale")) {
+			t.Fatalf("client %d got %q, want the leader's result", i, v)
+		}
+	}
+	assertLaw(t, s)
+}
+
+// negCache builds a single-shard cache whose loader counts calls and
+// reports keys under "absent:" missing; everything else loads "present".
+func negCache(t *testing.T, cfg live.Config) (*live.Cache, *atomic.Uint64) {
+	t.Helper()
+	calls := new(atomic.Uint64)
+	cfg.Loader = func(key string) []byte {
+		calls.Add(1)
+		if len(key) >= 7 && key[:7] == "absent:" {
+			return nil
+		}
+		return []byte("present")
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, calls
+}
+
+// TestNegativeCacheWindow: an absence verdict is believed for exactly
+// NegOps operations on the set's own clock, then re-verified. With one
+// key on one set the schedule is exact: Get 1 inserts (clock 1, expiry
+// 11), Gets 2..10 answer locally, Get 11 reaches the backend again.
+func TestNegativeCacheWindow(t *testing.T) {
+	cfg := defendedConfig()
+	cfg.NegOps = 10
+	c, calls := negCache(t, cfg)
+	for i := 0; i < 11; i++ {
+		if v, hit := c.Get("absent:0"); v != nil || hit {
+			t.Fatalf("Get %d: absent key answered %q, hit=%v", i+1, v, hit)
+		}
+	}
+	s := c.Stats()
+	if calls.Load() != 2 || s.NegInserts != 2 || s.NegHits != 9 {
+		t.Fatalf("calls %d, neg inserts %d, neg hits %d; want 2 backend probes and 9 local answers over 11 Gets",
+			calls.Load(), s.NegInserts, s.NegHits)
+	}
+	if s.Loads != 0 || s.GetMisses != 11 {
+		t.Fatalf("loads %d, misses %d; want 0 loads (key truly absent), 11 misses", s.Loads, s.GetMisses)
+	}
+	assertLaw(t, s)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeCachePutInvalidates: a write of a negged key kills the
+// verdict immediately — negative answers never shadow a Put.
+func TestNegativeCachePutInvalidates(t *testing.T) {
+	cfg := defendedConfig()
+	cfg.NegOps = 1 << 20
+	c, calls := negCache(t, cfg)
+	c.Get("absent:0")
+	c.Get("absent:0")
+	if calls.Load() != 1 {
+		t.Fatalf("window not engaged: %d backend calls", calls.Load())
+	}
+	c.Put("absent:0", []byte("written"))
+	if v, hit := c.Get("absent:0"); !hit || !bytes.Equal(v, []byte("written")) {
+		t.Fatalf("Get after Put = %q, hit=%v; negative verdict shadowed the write", v, hit)
+	}
+	s := c.Stats()
+	if s.NegHits != 1 || s.NegInserts != 1 {
+		t.Fatalf("neg hits %d, inserts %d, want 1/1", s.NegHits, s.NegInserts)
+	}
+	assertLaw(t, s)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeCacheFillInvalidates: when the backend recovers (starts
+// returning the key), the expired verdict is replaced by a real fill
+// and the entry is never both resident and negged (CheckInvariants).
+func TestNegativeCacheFillInvalidates(t *testing.T) {
+	cfg := defendedConfig()
+	cfg.NegOps = 4
+	var calls atomic.Uint64
+	cfg.Loader = func(key string) []byte {
+		if calls.Add(1) == 1 {
+			return nil // first probe: backend outage
+		}
+		return []byte("recovered")
+	}
+	c, err := live.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // insert at clock 1 (expiry 5), neg hits at 2..4
+		c.Get("k")
+	}
+	if v, hit := c.Get("k"); hit || !bytes.Equal(v, []byte("recovered")) {
+		t.Fatalf("Get past the window = %q (hit=%v), want the recovered fill", v, hit)
+	}
+	if v, hit := c.Get("k"); !hit || !bytes.Equal(v, []byte("recovered")) {
+		t.Fatalf("fill did not install: %q, hit=%v", v, hit)
+	}
+	s := c.Stats()
+	if calls.Load() != 2 || s.NegInserts != 1 || s.NegHits != 3 || s.Loads != 1 {
+		t.Fatalf("calls %d, inserts %d, hits %d, loads %d; want 2/1/3/1", calls.Load(), s.NegInserts, s.NegHits, s.Loads)
+	}
+	assertLaw(t, s)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeCacheBounded: the per-set verdict slice is capped at the
+// set's associativity; overflow evicts the soonest-expiring verdict,
+// whose key then costs one more backend probe.
+func TestNegativeCacheBounded(t *testing.T) {
+	cfg := defendedConfig()
+	cfg.Sets = 1
+	cfg.Ways = 2
+	cfg.NegOps = 100
+	c, calls := negCache(t, cfg)
+	for _, k := range []string{"absent:0", "absent:1", "absent:2", "absent:3"} {
+		c.Get(k) // 2-entry cap: 2 and 3 evict the verdicts for 0 and 1
+	}
+	c.Get("absent:0") // evicted: backend again
+	c.Get("absent:3") // retained: local
+	s := c.Stats()
+	if calls.Load() != 5 || s.NegInserts != 5 || s.NegHits != 1 {
+		t.Fatalf("calls %d, inserts %d, hits %d; want 5 backend probes and 1 local answer",
+			calls.Load(), s.NegInserts, s.NegHits)
+	}
+	assertLaw(t, s)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

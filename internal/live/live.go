@@ -84,6 +84,27 @@ type Config struct {
 	// per-key events, which is what makes recorded journals
 	// transport-invariant. The sink must not retain event values.
 	ReqLog probe.ReqProbe
+	// Coalesce enables singleflight fill coalescing (fill.go): when
+	// several Gets miss on one key concurrently, exactly one calls the
+	// Loader and the rest wait for its result (counted CoalescedLoads).
+	// Coalescing only collapses genuinely concurrent fills, so
+	// single-goroutine behavior — and its bit-identity across runs and
+	// shard counts — is unchanged. Requires a Loader to matter.
+	Coalesce bool
+	// NegOps enables negative caching of Loader misses: a key the
+	// Loader reported absent (nil) is remembered for NegOps operations
+	// on its set (the set's own op-count clock, never wall clock), and
+	// Gets inside that window are answered without consulting the
+	// backend (counted NegHits). A Put of the key invalidates the entry
+	// immediately. 0 disables; the clock choice keeps expiry
+	// deterministic and shard-count invariant.
+	NegOps uint64
+	// LeaseOps bounds a coalesced fill's lease: once a leader's Loader
+	// call has been in flight for LeaseOps operations on its set, the
+	// next missing Get deposes it (counted LeaseExpires) and fetches
+	// itself, so a stuck or dead lease holder cannot park a key forever.
+	// 0 means leases never expire. Requires Coalesce.
+	LeaseOps uint64
 }
 
 // Modeled per-operation service costs, in abstract backend-work units.
@@ -105,6 +126,14 @@ const (
 	// CostDirtyEvict: surcharge when the op's fill evicts a dirty
 	// entry, modeling the victim's writeback.
 	CostDirtyEvict = 4
+	// CostCoalesced: a Get miss served by another Get's in-flight (or
+	// just-landed) fill of the same key — no backend trip of its own.
+	CostCoalesced = 1
+	// CostNegHit: a Get miss answered by the negative cache — also no
+	// backend trip. Both equal CostHit on purpose: the stampede defenses
+	// turn backend round trips into local answers, and the cost stream
+	// is where that shows up.
+	CostNegHit = 1
 )
 
 // DefaultRWPConfig returns the per-set predictor configuration: the
@@ -152,6 +181,9 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("live: unknown policy %q (want lru or rwp)", c.Policy)
 	}
+	if c.LeaseOps > 0 && !c.Coalesce {
+		return fmt.Errorf("live: LeaseOps %d without Coalesce (leases bound coalesced fills)", c.LeaseOps)
+	}
 	return nil
 }
 
@@ -193,6 +225,11 @@ type lset struct {
 	// histograms conserve: costs == costsClean + costsDirty.
 	costsClean probe.CostHist
 	costsDirty probe.CostHist
+	// negs is the set's negative cache (fill.go): keys the Loader
+	// recently reported absent, with op-count expiry deadlines. A
+	// bounded slice, not a map — lookups are linear like find, and
+	// nothing ever iterates it in map order. Nil unless Config.NegOps.
+	negs []negEntry
 }
 
 // splitCounters refine the Counters hit/bypass totals by partition.
@@ -242,6 +279,11 @@ type shard struct {
 	mu   sync.Mutex
 	sets []lset
 	rec  *probe.Recorder // nil unless Config.Record
+	// fills tracks in-flight coalesced Loader calls by key (fill.go).
+	// Guarded by mu like everything else; nil unless Config.Coalesce.
+	// Per shard, not per set: entries are keyed lookups only (never
+	// iterated), so the coarser map costs nothing in determinism.
+	fills map[string]*fillCall
 }
 
 // Cache is the sharded live key-value cache.
@@ -250,6 +292,9 @@ type Cache struct {
 	mask     uint64
 	perShard int
 	shards   []*shard
+	// stampede is true when any miss-storm defense is configured; the
+	// Get miss path then detours through missDefended (fill.go).
+	stampede bool
 }
 
 // New builds a cache from cfg.
@@ -263,10 +308,14 @@ func New(cfg Config) (*Cache, error) {
 		perShard: cfg.Sets / cfg.Shards,
 		shards:   make([]*shard, cfg.Shards),
 	}
+	c.stampede = cfg.Loader != nil && (cfg.Coalesce || cfg.NegOps > 0)
 	for si := range c.shards {
 		sh := &shard{sets: make([]lset, c.perShard)}
 		if cfg.Record {
 			sh.rec = probe.NewRecorder(0)
+		}
+		if cfg.Coalesce {
+			sh.fills = make(map[string]*fillCall)
 		}
 		for i := range sh.sets {
 			initSet(&sh.sets[i], cfg, sh.rec)
@@ -291,6 +340,10 @@ func initSet(ls *lset, cfg Config, rec *probe.Recorder) {
 		}
 	}
 	ls.validCount, ls.dirtyCount = 0, 0
+	// The negative cache is content, not history: a reset set starts
+	// cold on both sides (ResetRange's read-your-write rule would be
+	// violated by a stale "absent" verdict outliving a purge).
+	ls.negs = nil
 	ls.rwp = nil
 	switch cfg.Policy {
 	case "rwp":
@@ -363,6 +416,13 @@ func (c *Cache) locate(h uint64) (*shard, *lset) {
 // non-reentrant Loader never race, so their behavior and counters are
 // bit-identical across runs and shard counts.
 //
+// With any stampede defense configured (Config.Coalesce / NegOps) the
+// miss detours through missDefended in fill.go: concurrent misses on
+// one key share a single Loader call, and Loader-reported absences are
+// remembered for an op-count window. The detour engages only on the
+// miss-with-Loader path, and only collapses genuinely concurrent
+// fills, so hit-path cost and single-goroutine behavior are untouched.
+//
 //rwplint:hotpath — the serving read path; every allocation here is a written-down decision
 func (c *Cache) Get(key string) (val []byte, hit bool) {
 	h := HashKey(key)
@@ -408,6 +468,15 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		c.logGet(key, set, probe.OutcomeMiss, CostMiss)
 		return nil, false
 	}
+	if c.stampede {
+		// Stampede defenses are on: the rest of this miss — negative
+		// cache, singleflight coalescing, lease bookkeeping, the Loader
+		// call, all cost accounting — lives in missDefended (fill.go),
+		// which takes the lock back itself (no helper ever inherits a
+		// held lock across the call boundary).
+		sh.mu.Unlock()
+		return c.missDefended(sh, ls, key, set, h, ai)
+	}
 	// The backing-store fetch runs outside the lock: a slow Loader
 	// stalls only this Get, not every key in the shard (and a reentrant
 	// Loader does not self-deadlock).
@@ -425,6 +494,18 @@ func (c *Cache) Get(key string) (val []byte, hit bool) {
 		sh.mu.Unlock()
 		c.logGet(key, set, probe.OutcomeFill, CostMiss)
 		return v, false
+	}
+	if v == nil {
+		// The backing store has no such key. A look-aside cache stores
+		// values, not absences — nothing installs, the miss stands, and
+		// the next Get pays another round trip (Config.NegOps bounds
+		// that with an explicit expiring verdict instead).
+		ls.ops.LoadAbsents++
+		ls.costs.Observe(CostMiss)
+		ls.costsClean.Observe(CostMiss)
+		sh.mu.Unlock()
+		c.logGet(key, set, probe.OutcomeMiss, CostMiss)
+		return nil, false
 	}
 	ls.ops.Loads++
 	cost := CostMiss
@@ -490,6 +571,9 @@ func (c *Cache) Put(key string, val []byte) (inserted bool) {
 		return false
 	}
 	ls.ops.PutInserts++
+	// A write proves the key exists now: drop any negative-cache entry
+	// before the fill installs it (no-op unless NegOps is configured).
+	ls.negDelete(key)
 	if sh.rec != nil {
 		sh.rec.CacheAccess(probe.AccessEvent{Level: LevelName, Class: probe.Store, Hit: false})
 	}

@@ -29,6 +29,15 @@ import (
 // before mutating anything, so a rejected snapshot leaves the cache
 // exactly as it was — never partially restored.
 //
+// Stampede-defense state: the defense counters (LoadAbsents,
+// CoalescedLoads, NegHits, NegInserts, LeaseExpires) travel in the Ops record (schema
+// v2). The negative cache and in-flight fillCalls deliberately do not
+// — both are transient op-clocked state, and starting them cold after
+// a restore only means re-consulting the backend for a few keys; a
+// stale absence verdict is never served. Consequently restart
+// bit-equivalence is exact for NegOps == 0 configurations, and
+// counter-conserving (never stale) otherwise; see DESIGN.md §16.
+//
 // Why the format can omit way indices: every fill (LRU's and RWP's
 // Victim alike) takes the lowest invalid way first, so a set holding K
 // entries has exactly ways 0..K-1 valid, and restore can replay the
@@ -346,7 +355,9 @@ func opsToSnap(ls *lset) snap.Ops {
 	return snap.Ops{
 		Gets: o.Gets, GetHits: o.GetHits, GetMisses: o.GetMisses,
 		Puts: o.Puts, PutHits: o.PutHits, PutInserts: o.PutInserts,
-		Loads: o.Loads, LoadRaces: o.LoadRaces,
+		Loads: o.Loads, LoadRaces: o.LoadRaces, LoadAbsents: o.LoadAbsents,
+		CoalescedLoads: o.CoalescedLoads, NegHits: o.NegHits,
+		NegInserts: o.NegInserts, LeaseExpires: o.LeaseExpires,
 		Fills: o.Fills, FillsDirty: o.FillsDirty, Bypasses: o.Bypasses,
 		Evictions: o.Evictions, DirtyEvictions: o.DirtyEvictions,
 		GetHitsClean: sp.GetHitsClean, GetHitsDirty: sp.GetHitsDirty,
@@ -359,7 +370,9 @@ func opsFromSnap(o *snap.Ops) Counters {
 	return Counters{
 		Gets: o.Gets, GetHits: o.GetHits, GetMisses: o.GetMisses,
 		Puts: o.Puts, PutHits: o.PutHits, PutInserts: o.PutInserts,
-		Loads: o.Loads, LoadRaces: o.LoadRaces,
+		Loads: o.Loads, LoadRaces: o.LoadRaces, LoadAbsents: o.LoadAbsents,
+		CoalescedLoads: o.CoalescedLoads, NegHits: o.NegHits,
+		NegInserts: o.NegInserts, LeaseExpires: o.LeaseExpires,
 		Fills: o.Fills, FillsDirty: o.FillsDirty, Bypasses: o.Bypasses,
 		Evictions: o.Evictions, DirtyEvictions: o.DirtyEvictions,
 	}

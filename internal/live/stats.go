@@ -14,6 +14,11 @@ type Counters struct {
 	PutInserts     uint64 // write-allocate fills
 	Loads          uint64 // backing-store fetches installed as fills (read-allocate)
 	LoadRaces      uint64 // fetches discarded because a writer installed the key first
+	LoadAbsents    uint64 // fetches the backing store answered "no such key": nothing installed, miss returned
+	CoalescedLoads uint64 // misses served by another Get's in-flight or just-landed fill (no Loader call of their own)
+	NegHits        uint64 // misses answered by the negative cache (no Loader call)
+	NegInserts     uint64 // Loader misses recorded in the negative cache instead of filled
+	LeaseExpires   uint64 // fill leases deposed after LeaseOps set ops (waiter re-fetched)
 	Fills          uint64
 	FillsDirty     uint64
 	Bypasses       uint64
@@ -31,6 +36,11 @@ func (c *Counters) add(o Counters) {
 	c.PutInserts += o.PutInserts
 	c.Loads += o.Loads
 	c.LoadRaces += o.LoadRaces
+	c.LoadAbsents += o.LoadAbsents
+	c.CoalescedLoads += o.CoalescedLoads
+	c.NegHits += o.NegHits
+	c.NegInserts += o.NegInserts
+	c.LeaseExpires += o.LeaseExpires
 	c.Fills += o.Fills
 	c.FillsDirty += o.FillsDirty
 	c.Bypasses += o.Bypasses

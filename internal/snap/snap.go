@@ -1,5 +1,5 @@
 // Package snap is the deterministic snapshot format for the live RWP
-// cache: schema rwp-snap-v1, a canonical binary encoding with a
+// cache: schema rwp-snap-v2, a canonical binary encoding with a
 // CRC-32C trailer, written atomically (fsatomic). A snapshot is
 // set-indexed, never shard-indexed — it records, per global set, the
 // resident entries in recency order plus the owning per-set RWP
@@ -31,8 +31,15 @@ import (
 	"rwp/internal/probe"
 )
 
-// Magic is the schema identifier leading every snapshot file.
-const Magic = "rwp-snap-v1\n"
+// Magic is the schema identifier leading every snapshot file. v2 added
+// the stampede-defense counters (LoadAbsents, CoalescedLoads, NegHits,
+// NegInserts, LeaseExpires) to every set record; v1 snapshots are rejected with
+// ErrSchema rather than silently restored with those counters zeroed.
+// Negative-cache contents and in-flight fill state are deliberately
+// NOT in the format: both are transient op-clocked state, and a
+// restored cache starting with them cold only re-consults the backend
+// — it never serves a stale absence verdict (see DESIGN.md §16).
+const Magic = "rwp-snap-v2\n"
 
 // Limits mirror the wire protocol's: a snapshot holds the same keys
 // and values the transport carries.
@@ -48,7 +55,7 @@ const (
 	MaxWays = 256
 )
 
-// ErrSchema reports a file that is not an rwp-snap-v1 snapshot at all.
+// ErrSchema reports a file that is not an rwp-snap-v2 snapshot at all.
 var ErrSchema = errors.New("snap: unrecognized snapshot schema")
 
 // ErrCorrupt reports a snapshot that declares the right schema but
@@ -98,6 +105,9 @@ type Ops struct {
 	Gets, GetHits, GetMisses    uint64
 	Puts, PutHits, PutInserts   uint64
 	Loads, LoadRaces            uint64
+	LoadAbsents, CoalescedLoads uint64
+	NegHits, NegInserts         uint64
+	LeaseExpires                uint64
 	Fills, FillsDirty, Bypasses uint64
 	Evictions, DirtyEvictions   uint64
 	GetHitsClean, GetHitsDirty  uint64
@@ -107,7 +117,7 @@ type Ops struct {
 
 var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
-// Encode renders s in the canonical rwp-snap-v1 byte form. The
+// Encode renders s in the canonical rwp-snap-v2 byte form. The
 // encoding is a pure function of s: identical snapshots encode to
 // identical bytes, which is what lets check.sh cmp-gate the
 // re-snapshot fixed point.
@@ -203,12 +213,15 @@ func boolByte(v bool) byte {
 	return 0
 }
 
-// opsFields enumerates the 19 counters in canonical encoding order.
-func opsFields(o *Ops) [19]*uint64 {
-	return [19]*uint64{
+// opsFields enumerates the 24 counters in canonical encoding order
+// (the five stampede-defense counters slot in after LoadRaces, where
+// they sit in the conservation law).
+func opsFields(o *Ops) [24]*uint64 {
+	return [24]*uint64{
 		&o.Gets, &o.GetHits, &o.GetMisses,
 		&o.Puts, &o.PutHits, &o.PutInserts,
 		&o.Loads, &o.LoadRaces,
+		&o.LoadAbsents, &o.CoalescedLoads, &o.NegHits, &o.NegInserts, &o.LeaseExpires,
 		&o.Fills, &o.FillsDirty, &o.Bypasses,
 		&o.Evictions, &o.DirtyEvictions,
 		&o.GetHitsClean, &o.GetHitsDirty,
@@ -474,6 +487,10 @@ func checkOps(o *Ops) error {
 		return errors.New("more loader fills than fills")
 	case o.FillsDirty > o.Fills:
 		return errors.New("more dirty fills than fills")
+	case o.Loads+o.LoadRaces+o.LoadAbsents+o.CoalescedLoads+o.NegHits+o.NegInserts > o.GetMisses:
+		// An inequality, not an equality: a snapshot taken while fills
+		// are in flight has counted misses not yet resolved.
+		return errors.New("resolved misses exceed GetMisses")
 	}
 	return nil
 }

@@ -98,7 +98,8 @@ func TestDecodeWrongSchema(t *testing.T) {
 	for _, data := range [][]byte{
 		nil,
 		[]byte("short"),
-		[]byte("rwp-snap-v2\nxxxxxxxxxxxxxxxx"),
+		[]byte("rwp-snap-v1\nxxxxxxxxxxxxxxxx"), // pre-stampede-counter schema: rejected, never half-read
+		[]byte("rwp-snap-v3\nxxxxxxxxxxxxxxxx"),
 		bytes.Repeat([]byte{0xff}, 64),
 	} {
 		if _, err := Decode(data); !errors.Is(err, ErrSchema) {

@@ -32,3 +32,15 @@ awk '$1 == "geomean" && $2 + 0 > 0 { if ($2 + 0 < 1.0) bad = 1 } END { exit bad 
     echo 'bench_live.sh: FAIL: RWP read-hit geomean below LRU' >&2
     exit 1
 }
+
+# Orientation section (appended after the gate — the adversarial
+# profiles are stampede stressors, not cache-sensitive workloads, and
+# must not move the RWP-vs-LRU geomean): the same RWP-vs-LRU comparison
+# under the adv:* streams. The stampede defenses themselves are scored
+# by scripts/bench_stampede.sh.
+echo ">> rwpserve -bench (adversarial profiles, ungated orientation)"
+{
+    echo ""
+    echo "# adversarial stampede profiles (orientation only, not gated):"
+    "$work/rwpserve" -bench -bench-profiles adv:zipf,adv:flash,adv:scan,adv:write
+} | tee -a "$out"

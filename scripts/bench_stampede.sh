@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# bench_stampede.sh — score the live cache's stampede defenses by the
+# number a backend operator cares about: Loader calls. Writes
+# results/stampede_bench.txt so regressions show up in review diffs.
+#
+# The bench itself (cmd/rwpserve -stampede-bench) runs three scenarios
+# undefended vs defended and gates internally — defended backend loads
+# strictly below undefended in every scenario, else nonzero exit:
+#   flash-storm   synchronized miss storms on one hot key (coalescing)
+#   absent-flood  the same storms on a key the backend lacks
+#                 (coalescing + one flood-spanning negative verdict)
+#   scan-neg      a cyclic sweep of the absent keyspace (negative
+#                 caching answers revisits inside the verdict window)
+#
+# Every leg is deterministic (storms by miss-count rendezvous, the scan
+# by construction), so the recorded file is stable run to run; this
+# script re-runs the bench and cmp-checks that claim too.
+#
+# Usage: scripts/bench_stampede.sh [scan-ops]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ops=${1:-20000}
+out=results/stampede_bench.txt
+mkdir -p results
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rwpserve" ./cmd/rwpserve
+
+echo ">> rwpserve -stampede-bench (undefended vs defended backend loads)"
+{
+    echo "# stampede bench: backend Loader calls, undefended vs defended"
+    "$work/rwpserve" -stampede-bench -stampede-ops "$ops"
+} | tee "$out"
+
+echo ">> determinism: a second run must be byte-identical"
+{
+    echo "# stampede bench: backend Loader calls, undefended vs defended"
+    "$work/rwpserve" -stampede-bench -stampede-ops "$ops"
+} >"$work/again.txt"
+cmp "$out" "$work/again.txt" || {
+    echo 'bench_stampede.sh: FAIL: bench output is not deterministic' >&2
+    exit 1
+}
+
+# Belt and braces: the binary already gates (nonzero exit on any FAIL);
+# guard the recorded file itself against hand edits or tee failures.
+grep -q 'GATE flash-storm: .*: PASS' "$out" &&
+    grep -q 'GATE absent-flood: .*: PASS' "$out" &&
+    grep -q 'GATE scan-neg: .*: PASS' "$out" || {
+    echo 'bench_stampede.sh: FAIL: recorded output lacks three PASS gates' >&2
+    exit 1
+}

@@ -105,6 +105,32 @@ cmp "$smoke/live1.json" "$smoke/live32.json" || {
     exit 1
 }
 
+# Stampede smoke: the defenses must not perturb sequential runs —
+# coalescing only collapses genuinely concurrent work, so a
+# single-goroutine selftest with -coalesce (and a finite lease) prints
+# the exact live-smoke bytes. Then the negative cache: an adversarial
+# scan flood with -neg-ops is deterministic across runs AND shard
+# counts, and actually records absence verdicts (nonzero NegInserts).
+echo '>> stampede smoke: -coalesce is bit-identical; adv:scan -neg-ops is deterministic'
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile mcf -coalesce -lease-ops 64 >"$smoke/coalesce.json"
+cmp "$smoke/live1.json" "$smoke/coalesce.json" || {
+    echo 'check.sh: FAIL: -coalesce perturbed a single-goroutine selftest' >&2
+    exit 1
+}
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 1 \
+    -profile adv:scan -coalesce -neg-ops 64 >"$smoke/neg1.json"
+go run ./cmd/rwpserve -selftest 20000 -sets 256 -ways 8 -shards 32 \
+    -profile adv:scan -coalesce -neg-ops 64 >"$smoke/neg32.json"
+cmp "$smoke/neg1.json" "$smoke/neg32.json" || {
+    echo 'check.sh: FAIL: adv:scan -neg-ops differs between -shards 1 and 32' >&2
+    exit 1
+}
+if grep -q '"NegInserts": 0,' "$smoke/neg1.json"; then
+    echo 'check.sh: FAIL: adv:scan -neg-ops recorded no absence verdicts' >&2
+    exit 1
+fi
+
 # Transport smoke: the same burst through the binary protocol (batched
 # MGET/MPUT frames, pipelined 8 deep) must print the same bytes — the
 # transport-equivalence contract through the real binary.
